@@ -1,0 +1,79 @@
+"""E2 ("Figure 4"): simulation runtime vs traffic load.
+
+The poster targets "high traffic loads".  We fix the fabric (IXP, 16
+members) and sweep the offered load, measuring how runtime scales with
+the number of flows for the flow-level engine, plus packet-level points
+at the loads it can finish.
+
+Expected shape: flow-level runtime grows roughly linearly in flow count
+(wall time per flow stays within a small factor across a 16x load
+sweep); packet-level cost per flow is far higher because it pays per
+packet, not per flow.
+"""
+
+import pytest
+
+from .harness import ixp_workload, record, rows, run_engine, write_table
+
+MEMBERS = 16
+FLOW_FRACTIONS = [0.25, 0.5, 1.0, 2.0, 4.0]
+PACKET_FRACTIONS = [0.25, 0.5]
+FLOW_DURATION = 2.0
+PACKET_DURATION = 0.4
+
+
+def _run(engine: str, load_fraction: float, duration: float):
+    fabric, flows = ixp_workload(
+        MEMBERS, duration_s=duration, load_fraction=load_fraction
+    )
+    result = run_engine(fabric, flows, engine=engine, until=duration + 30.0)
+    record(
+        "E2",
+        {
+            "engine": engine,
+            "load_x": load_fraction,
+            "flows": len(flows),
+            "events": result.events,
+            "wall_s": round(result.wall_time_s, 3),
+            "wall_ms_per_flow": round(
+                1000.0 * result.wall_time_s / max(len(flows), 1), 3
+            ),
+            "events_per_s": round(result.events_per_second),
+            "delivered": round(result.delivered_fraction, 3),
+        },
+    )
+    return result
+
+
+@pytest.mark.parametrize("fraction", FLOW_FRACTIONS)
+def bench_e2_flow_level(benchmark, fraction):
+    result = benchmark.pedantic(
+        _run, args=("flow", fraction, FLOW_DURATION), rounds=1, iterations=1
+    )
+    assert result.delivered_fraction > 0.99
+
+
+@pytest.mark.parametrize("fraction", PACKET_FRACTIONS)
+def bench_e2_packet_level(benchmark, fraction):
+    result = benchmark.pedantic(
+        _run, args=("packet", fraction, PACKET_DURATION), rounds=1, iterations=1
+    )
+    assert result.engine_summary["packets_delivered"] > 0
+
+
+def bench_e2_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = rows("E2")
+    flow_rows = [r for r in table if r["engine"] == "flow"]
+    packet_rows = [r for r in table if r["engine"] == "packet"]
+    # Shape 1: flow-level per-flow cost stays within ~8x across the
+    # 16x load sweep (roughly linear scaling in flow events).
+    costs = [r["wall_ms_per_flow"] for r in flow_rows]
+    assert max(costs) < 8 * max(min(costs), 0.01), costs
+    # Shape 2: packet-level costs far more per flow at matched load.
+    flow_low = next(r for r in flow_rows if r["load_x"] == 0.25)
+    packet_low = next(r for r in packet_rows if r["load_x"] == 0.25)
+    assert (
+        packet_low["wall_ms_per_flow"] > 5 * flow_low["wall_ms_per_flow"]
+    ), (packet_low, flow_low)
+    write_table("E2", "runtime vs offered load (IXP-16)")

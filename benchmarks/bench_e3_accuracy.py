@@ -1,0 +1,131 @@
+"""E3 ("Table 1"): flow-level accuracy against packet-level ground truth.
+
+The poster promises to evaluate "accuracy ... under multiple
+configurations".  We run identical flow schedules through both engines
+on three topologies and compare (a) per-flow goodput over the run and
+(b) per-link carried bytes, reporting mean relative error.
+
+Expected shape: steady-state flow-level statistics land within tens of
+percent of the AIMD packet baseline (the fluid model is the limit of
+fair sharing), with error growing under heavier contention.
+"""
+
+import pytest
+
+from repro.flowsim import Flow
+from repro.net.generators import fat_tree, linear, single_switch
+from repro.openflow.headers import tcp_flow
+from repro.stats import mean_relative_error
+
+from .harness import record, rows, run_engine, write_table
+
+DURATION = 4.0
+HORIZON = 40.0
+
+
+def _flows(topo, pairs, demand=8e6):
+    flows = []
+    for i, (src, dst) in enumerate(pairs):
+        s, d = topo.host(src), topo.host(dst)
+        flows.append(
+            Flow(
+                headers=tcp_flow(s.ip, d.ip, 1000 + i, 80,
+                                 eth_src=s.mac, eth_dst=d.mac),
+                src=src,
+                dst=dst,
+                demand_bps=demand,
+                duration_s=DURATION,
+            )
+        )
+    return flows
+
+
+def _scenario(name):
+    """Topology factory + flow pairs per scenario."""
+    if name == "linear-2flows":
+        make = lambda: linear(2, hosts_per_switch=1, capacity_bps=10e6)
+        pairs = [("h1", "h2"), ("h1", "h2")]
+        demand = 8e6
+    elif name == "star-crossload":
+        make = lambda: single_switch(4, capacity_bps=10e6)
+        pairs = [("h1", "h2"), ("h3", "h2"), ("h4", "h1"), ("h2", "h3")]
+        demand = 8e6
+    else:  # fat-tree contention through shared links
+        make = lambda: fat_tree(2, capacity_bps=10e6)
+        pairs = [("h1", "h2"), ("h2", "h1"), ("h1", "h2")]
+        demand = 8e6
+    return make, pairs, demand
+
+
+def _goodput(flows):
+    out = {}
+    for i, flow in enumerate(flows):
+        end = flow.end_time or DURATION
+        span = max(end - flow.start_time, 1e-9)
+        out[i] = flow.bytes_delivered * 8.0 / span
+    return out
+
+
+def _link_bytes(topo):
+    out = {}
+    for direction in topo.directions():
+        key = direction.key
+        out[key] = direction.src_port.tx_bytes
+    return out
+
+
+def _run_pair(name):
+    make, pairs, demand = _scenario(name)
+    # Fresh topologies per engine: counters must not mix.
+    topo_flow = make()
+    flows_flow = _flows(topo_flow, pairs, demand)
+    result_flow = run_engine(
+        topo_flow, flows_flow, engine="flow", until=HORIZON
+    )
+    topo_pkt = make()
+    flows_pkt = _flows(topo_pkt, pairs, demand)
+    result_pkt = run_engine(
+        topo_pkt, flows_pkt, engine="packet", until=HORIZON
+    )
+    goodput_err = mean_relative_error(_goodput(flows_flow), _goodput(flows_pkt))
+    # Compare only links that actually carried traffic in the baseline.
+    pkt_bytes = _link_bytes(topo_pkt)
+    flow_bytes = _link_bytes(topo_flow)
+    busy = [k for k, v in pkt_bytes.items() if v > 1e4]
+    link_err = mean_relative_error(flow_bytes, pkt_bytes, keys=busy)
+    total_flow = sum(f.bytes_delivered for f in flows_flow)
+    total_pkt = sum(f.bytes_delivered for f in flows_pkt)
+    record(
+        "E3",
+        {
+            "scenario": name,
+            "flows": len(pairs),
+            "goodput_err": round(goodput_err, 3),
+            "link_bytes_err": round(link_err, 3),
+            "delivered_flow_MB": round(total_flow / 1e6, 2),
+            "delivered_pkt_MB": round(total_pkt / 1e6, 2),
+            "flow_wall_s": round(result_flow.wall_time_s, 3),
+            "pkt_wall_s": round(result_pkt.wall_time_s, 3),
+        },
+    )
+    return goodput_err, link_err
+
+
+@pytest.mark.parametrize(
+    "scenario", ["linear-2flows", "star-crossload", "fattree-shared"]
+)
+def bench_e3_accuracy(benchmark, scenario):
+    goodput_err, link_err = benchmark.pedantic(
+        _run_pair, args=(scenario,), rounds=1, iterations=1
+    )
+    # The fluid model must land in the right ballpark of the AIMD truth.
+    assert goodput_err < 0.40, goodput_err
+    assert link_err < 0.40, link_err
+
+
+def bench_e3_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = rows("E3")
+    mean_err = sum(r["goodput_err"] for r in table) / len(table)
+    assert mean_err < 0.30, mean_err
+    write_table("E3", "flow-level vs packet-level accuracy")

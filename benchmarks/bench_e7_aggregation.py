@@ -1,0 +1,110 @@
+"""E7 (ablation): flow aggregation granularity.
+
+The poster's core discussion is finding "the right level of
+abstraction".  Horse lets the user pick the aggregation of a "data
+flow": per-5-tuple microflows or coarse per-member-pair aggregates.  We
+offer the same total traffic both ways and measure the speed/accuracy
+trade: aggregates collapse thousands of events into a few hundred, while
+long-run per-link volumes stay close.
+
+Expected shape: per-pair aggregation is several times faster with far
+fewer events; busy-link carried bytes agree within tens of percent.
+"""
+
+import pytest
+
+from repro.stats import mean_relative_error
+
+from .harness import ixp_workload, record, rows, run_engine, write_table
+
+MEMBERS = 16
+DURATION = 4.0
+HORIZON = 60.0
+
+
+def _link_bytes(topology):
+    return {d.key: d.src_port.tx_bytes for d in topology.directions()}
+
+
+def _workload(granularity: str):
+    from repro.ixp import build_ixp
+    from repro.sim.rng import RngRegistry
+    from repro.traffic import (
+        FlowGenConfig,
+        FlowGenerator,
+        LogNormal,
+        ixp_gravity_matrix,
+    )
+    from .harness import LOAD_PER_MEMBER_BPS
+
+    fabric = build_ixp(MEMBERS, seed=13)
+    matrix = ixp_gravity_matrix(
+        fabric, total_bps=LOAD_PER_MEMBER_BPS * MEMBERS * 0.5
+    )
+    rng = RngRegistry(13).stream("e7")
+    if granularity == "5-tuple":
+        # Microflows sampling the matrix.  A log-normal size keeps the
+        # realized volume close to the offered matrix (the default
+        # Pareto tail's variance would swamp the granularity signal).
+        generator = FlowGenerator(
+            fabric.topology,
+            rng,
+            config=FlowGenConfig(mean_flow_bytes=2e6, min_demand_bps=20e6),
+            size_sampler=LogNormal(rng, mean=2e6, sigma=1.0),
+        )
+        flows = generator.from_matrix(matrix, horizon_s=DURATION)
+    else:
+        # One continuous aggregate per member pair at the pair demand —
+        # the exact same offered matrix, maximally aggregated.
+        generator = FlowGenerator(fabric.topology, rng)
+        flows = generator.constant_rate_flows(matrix, duration_s=DURATION)
+    return fabric, flows
+
+
+def _run(granularity: str):
+    fabric, flows = _workload(granularity)
+    result = run_engine(fabric, flows, engine="flow", until=HORIZON)
+    record(
+        "E7",
+        {
+            "granularity": granularity,
+            "flows": len(flows),
+            "events": result.events,
+            "wall_s": round(result.wall_time_s, 4),
+            "sent_GB": round(result.engine_summary["bytes_sent"] / 1e9, 3),
+            "delivered": round(result.delivered_fraction, 3),
+        },
+    )
+    return result, _link_bytes(fabric.topology)
+
+
+@pytest.mark.parametrize("granularity", ["5-tuple", "per-pair"])
+def bench_e7_granularity(benchmark, granularity):
+    result, link_bytes = benchmark.pedantic(
+        _run, args=(granularity,), rounds=1, iterations=1
+    )
+    record("E7-links", {"granularity": granularity, "bytes": link_bytes})
+    assert result.delivered_fraction > 0.99
+
+
+def bench_e7_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    by_mode = {r["granularity"]: r for r in rows("E7")}
+    links = {r["granularity"]: r["bytes"] for r in rows("E7-links")}
+    fine = by_mode["5-tuple"]
+    coarse = by_mode["per-pair"]
+    # Aggregation collapses the event count dramatically.
+    assert coarse["events"] < fine["events"] / 3, (coarse, fine)
+    # Long-run per-link volumes agree on busy links.  (The microflow
+    # trace is a Poisson sample of the matrix the aggregate offers
+    # exactly, so some sampling error is expected.)
+    # Aggregate over the fattest links (edge uplinks / core), where many
+    # pairs mix and the Poisson sampling noise of the microflow trace
+    # averages out.
+    busy = [k for k, v in links["5-tuple"].items() if v > 200e6]
+    err = mean_relative_error(links["per-pair"], links["5-tuple"], keys=busy)
+    assert busy, "no busy links to compare"
+    assert err < 0.35, err
+    fine["busy_link_err_vs_fine"] = 0.0
+    coarse["busy_link_err_vs_fine"] = round(err, 3)
+    write_table("E7", "aggregation granularity trade (IXP-16)")

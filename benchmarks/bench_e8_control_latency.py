@@ -1,0 +1,92 @@
+"""E8 (extension): control-plane latency vs reactive flow setup.
+
+The poster's abstraction removes real OpenFlow connections, making the
+control loop synchronous.  This experiment quantifies what that
+abstraction hides: with reactive L2 learning, every first packet of a
+flow waits on controller round trips, so flow completion times grow
+with the control latency while a proactive policy is immune.
+
+Expected shape: FCT grows monotonically with latency under the reactive
+policy (more than the added round trips, since multi-hop setup pays per
+switch); proactive forwarding is flat.
+"""
+
+import pytest
+
+from repro import Flow, Horse, HorseConfig
+from repro.net.generators import tree
+from repro.openflow.headers import tcp_flow
+
+from .harness import record, rows, write_table
+
+LATENCIES_MS = [0.0, 1.0, 5.0, 20.0]
+FLOW_SIZE = 1_000_000  # 1 MB at 100 Mb/s: 80 ms ideal
+
+
+def _run(policy: str, latency_ms: float):
+    topo = tree(2, 2)
+    policies = (
+        {"forwarding": "learning"}
+        if policy == "reactive"
+        else {"forwarding": {"mode": "shortest-path", "match_on": "ip_dst"}}
+    )
+    horse = Horse(
+        topo,
+        policies=policies,
+        config=HorseConfig(control_latency_s=latency_ms / 1000.0),
+    )
+    pairs = [("h1", "h4"), ("h2", "h3"), ("h4", "h1"), ("h3", "h2")]
+    flows = []
+    for i, (src, dst) in enumerate(pairs):
+        s, d = topo.host(src), topo.host(dst)
+        flows.append(
+            Flow(
+                headers=tcp_flow(s.ip, d.ip, 1000 + i, 80,
+                                 eth_src=s.mac, eth_dst=d.mac),
+                src=src,
+                dst=dst,
+                demand_bps=100e6,
+                size_bytes=FLOW_SIZE,
+                start_time=0.05 * i,  # staggered so learning can converge
+            )
+        )
+    horse.submit_flows(flows)
+    result = horse.run(until=120.0)
+    fcts = [f.flow_completion_time for f in flows if f.flow_completion_time]
+    mean_fct = sum(fcts) / len(fcts) if fcts else float("inf")
+    record(
+        "E8",
+        {
+            "policy": policy,
+            "latency_ms": latency_ms,
+            "completed": len(fcts),
+            "mean_fct_ms": round(mean_fct * 1000.0, 2),
+            "packet_ins": result.engine_summary["packet_ins"],
+        },
+    )
+    return result, mean_fct
+
+
+@pytest.mark.parametrize("latency_ms", LATENCIES_MS)
+@pytest.mark.parametrize("policy", ["proactive", "reactive"])
+def bench_e8_latency(benchmark, policy, latency_ms):
+    result, mean_fct = benchmark.pedantic(
+        _run, args=(policy, latency_ms), rounds=1, iterations=1
+    )
+    assert result.delivered_fraction == 1.0
+    assert mean_fct < 10.0
+
+
+def bench_e8_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    table = rows("E8")
+    by_key = {(r["policy"], r["latency_ms"]): r["mean_fct_ms"] for r in table}
+    # Proactive forwarding is latency-insensitive.
+    proactive = [by_key[("proactive", l)] for l in LATENCIES_MS]
+    assert max(proactive) - min(proactive) < 1.0, proactive
+    # Reactive setup pays for control round trips: monotone growth, and
+    # the 20 ms point is visibly slower than the synchronous one.
+    reactive = [by_key[("reactive", l)] for l in LATENCIES_MS]
+    assert reactive == sorted(reactive), reactive
+    assert reactive[-1] > reactive[0] + 10.0, reactive
+    write_table("E8", "control latency vs reactive flow setup cost")

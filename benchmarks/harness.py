@@ -1,0 +1,123 @@
+"""Shared helpers for the experiment benchmarks (E1–E7).
+
+Each benchmark file records rows into a per-experiment table; the file's
+final ``bench_*_report`` writes the table to ``benchmarks/results/`` and
+asserts the *shape* the paper's evaluation plan predicts (who wins, by
+roughly what factor).  Absolute numbers depend on the host machine and
+are recorded, not asserted.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro import Horse, HorseConfig, RunResult
+from repro.ixp import IxpFabric, build_ixp
+from repro.sim.rng import RngRegistry
+from repro.traffic import FlowGenConfig, IxpTraceSynthesizer
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: exp id -> list of row dicts, accumulated across parametrized benches.
+_TABLES: Dict[str, List[dict]] = defaultdict(list)
+
+
+def record(exp_id: str, row: dict) -> None:
+    """Append one result row for an experiment."""
+    _TABLES[exp_id].append(dict(row))
+
+
+def rows(exp_id: str) -> List[dict]:
+    return list(_TABLES[exp_id])
+
+
+def write_table(exp_id: str, title: str) -> str:
+    """Render the experiment's rows as an aligned text table, write it to
+    benchmarks/results/<exp>.txt, and return the rendering."""
+    table_rows = _TABLES[exp_id]
+    if not table_rows:
+        return f"{exp_id}: no rows recorded"
+    headers = list(table_rows[0].keys())
+    widths = {
+        h: max(len(h), *(len(_fmt(r.get(h, ""))) for r in table_rows))
+        for h in headers
+    }
+    lines = [f"# {exp_id}: {title}", ""]
+    lines.append("  ".join(h.ljust(widths[h]) for h in headers))
+    lines.append("  ".join("-" * widths[h] for h in headers))
+    for row in table_rows:
+        lines.append(
+            "  ".join(_fmt(row.get(h, "")).ljust(widths[h]) for h in headers)
+        )
+    text = "\n".join(lines) + "\n"
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{exp_id}.txt"), "w") as f:
+        f.write(text)
+    print("\n" + text)
+    return text
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# Scenario runners
+# ----------------------------------------------------------------------
+
+#: Keep per-member offered load constant while scaling the fabric.
+LOAD_PER_MEMBER_BPS = 400e6
+
+#: Flow-size knobs sized so runs finish quickly but still produce
+#: thousands of flow events at the larger scales.
+BENCH_FLOW_CONFIG = FlowGenConfig(
+    mean_flow_bytes=2e6, demand_factor=4.0, min_demand_bps=20e6
+)
+
+
+def ixp_workload(
+    members: int,
+    duration_s: float,
+    seed: int = 42,
+    load_fraction: float = 1.0,
+    flow_config: Optional[FlowGenConfig] = None,
+):
+    """Build an IXP fabric plus a steady flow workload for it."""
+    fabric = build_ixp(members, seed=seed)
+    synth = IxpTraceSynthesizer(
+        fabric,
+        peak_total_bps=LOAD_PER_MEMBER_BPS * members,
+        flow_config=flow_config or BENCH_FLOW_CONFIG,
+    )
+    rng = RngRegistry(seed).stream("bench-trace")
+    flows = synth.steady_flows(rng, duration_s=duration_s,
+                               load_fraction=load_fraction)
+    return fabric, flows
+
+
+def run_engine(
+    fabric_or_topo,
+    flows,
+    engine: str,
+    policies: Optional[dict] = None,
+    until: Optional[float] = None,
+    config_overrides: Optional[dict] = None,
+) -> RunResult:
+    """Run one engine over a prepared workload and return the result."""
+    topology = getattr(fabric_or_topo, "topology", fabric_or_topo)
+    policies = policies or {
+        "forwarding": {"mode": "shortest-path", "match_on": "ip_dst"}
+    }
+    overrides = dict(config_overrides or {})
+    config = HorseConfig(engine=engine, **overrides)
+    horse = Horse(topology, policies=policies, config=config)
+    horse.submit_flows(flows)
+    return horse.run(until=until)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""The headline claim: simulate a *large* IXP fabric in seconds.
+
+Builds a 256-member peering fabric (the size class of a major European
+IXP's member list), synthesizes gravity traffic with realistic skew, and
+replays a compressed diurnal half-day at flow level — the workload that
+motivates the poster's "large scale networks" title.  A packet-level
+simulator pays per packet; at this fabric's offered load that is ~10^8
+packet events per simulated minute, which is why the poster argues for
+the flow abstraction.
+
+Run:  python examples/large_scale.py
+"""
+
+import time
+
+from repro import Horse, HorseConfig
+from repro.ixp import build_ixp
+from repro.sim.rng import RngRegistry
+from repro.traffic import FlowGenConfig, IxpTraceSynthesizer
+
+
+def main() -> None:
+    t0 = time.perf_counter()
+    fabric = build_ixp(256, seed=2026)
+    build_wall = time.perf_counter() - t0
+    summary = fabric.summary()
+    print(
+        f"fabric: {summary['members']} members, {summary['edges']} edge + "
+        f"{summary['cores']} core switches, {summary['links']} links, "
+        f"{summary['total_capacity_bps'] / 1e12:.2f} Tb/s total capacity "
+        f"(built in {build_wall:.2f}s)"
+    )
+
+    synth = IxpTraceSynthesizer(
+        fabric,
+        peak_total_bps=100e9,
+        flow_config=FlowGenConfig(mean_flow_bytes=4e6, min_demand_bps=20e6),
+    )
+    rng = RngRegistry(2026).stream("large")
+    t0 = time.perf_counter()
+    flows = synth.trace(rng, epochs=6, epoch_duration_s=2.0)
+    gen_wall = time.perf_counter() - t0
+    volume = sum(f.size_bytes or 0 for f in flows)
+    print(
+        f"trace: {len(flows)} flows / {volume / 1e9:.1f} GB over a "
+        f"6-epoch diurnal ramp (generated in {gen_wall:.2f}s)"
+    )
+
+    horse = Horse(
+        fabric.topology,
+        policies={"load_balancing": {"mode": "ecmp", "match_on": "ip_dst"}},
+    )
+    horse.submit_flows(flows)
+    result = horse.run(until=60.0)
+
+    print(
+        f"\nsimulated {result.sim_time_s:.0f}s of fabric time in "
+        f"{result.wall_time_s:.1f}s of wall time "
+        f"({result.events} events, {result.events_per_second:.0f}/s)"
+    )
+    print(
+        f"completed {result.row()['completed']}/{len(flows)} flows, "
+        f"aggregate goodput {result.goodput_bps() / 1e9:.2f} Gb/s, "
+        f"{result.rule_count} rules installed"
+    )
+    mean_pkt = 1000  # the engine's packet-counter conversion factor
+    packet_events = volume / mean_pkt * 4  # ~4 events per packet-hop
+    print(
+        f"a packet-level run of the same trace would process on the order "
+        f"of {packet_events / 1e6:.0f}M events "
+        f"(x{packet_events / max(result.events, 1):,.0f} this run's count)"
+    )
+    assert result.delivered_fraction > 0.99
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Policy composition and validation — the poster's Figure 2 end to end.
+
+Takes the JSON-ish policy configuration shown in the poster's
+architecture figure, compiles it with the policy generator (table
+staging + priority bands), shows the validator catching a bad
+composition, and runs the compiled fabric to verify every policy's
+behavioural effect simultaneously.
+
+Run:  python examples/policy_composition.py
+"""
+
+from repro import Flow, Horse
+from repro.control.policy import compile_policies, validate_or_raise, parse_policy_config
+from repro.errors import PolicyConflictError
+from repro.net.generators import full_mesh
+from repro.openflow.headers import tcp_flow
+
+
+def main() -> None:
+    # An edge fabric of 4 meshed switches, two hosts each.
+    topo = full_mesh(4, hosts_per_switch=2, capacity_bps=1e9)
+
+    # The poster's policy configuration, as data.
+    config = {
+        "forwarding": {"mode": "shortest-path", "match_on": "ip_dst"},
+        "application_peering": [
+            {"src": "h1", "dst": "h5", "app": "http"}  # e1->e3 : http
+        ],
+        "rate_limiting": [
+            {"src": "h3", "dst": "h7", "rate": "100 Mbps"}  # e2->e4
+        ],
+        "blackholing": [{"target": "h8"}],
+    }
+
+    compiled = compile_policies(topo, config)
+    print("compiled apps:", [a.name for a in compiled.controller.apps])
+    print("pipeline stages:", [
+        (s.table_id, list(s.kinds)) for s in compiled.plan.stages
+    ])
+    for note in compiled.notes:
+        print("note:", note)
+
+    # The validator rejects contradictory compositions outright.
+    try:
+        validate_or_raise(
+            parse_policy_config(
+                {"forwarding": "learning", "load_balancing": {"mode": "ecmp"}}
+            ),
+            topo,
+        )
+    except PolicyConflictError as exc:
+        print(f"validator rejected a bad composition: {exc}")
+
+    # Run traffic that exercises every policy at once.
+    horse = Horse(topo, policies=compiled)
+
+    def flow(src, dst, dport, sport, demand=400e6, size=50_000_000):
+        s, d = topo.host(src), topo.host(dst)
+        return Flow(
+            headers=tcp_flow(s.ip, d.ip, sport, dport),
+            src=src, dst=dst, demand_bps=demand, size_bytes=size,
+        )
+
+    http_peered = flow("h1", "h5", dport=80, sport=50001)
+    ssh_plain = flow("h1", "h5", dport=22, sport=50002)
+    limited = flow("h3", "h7", dport=443, sport=50003)
+    doomed = flow("h2", "h8", dport=80, sport=50004, size=10_000_000)
+    horse.submit_flows([http_peered, ssh_plain, limited, doomed])
+    result = horse.run(until=60.0)
+
+    print(f"\nran {result.events} events in {result.wall_time_s:.3f}s wall")
+    # Application peering steered HTTP over the longer path; SSH direct.
+    print(f"http h1->h5 path hops: {len(http_peered.route.directions)} "
+          f"(detoured); ssh hops: {len(ssh_plain.route.directions)} (direct)")
+    assert len(http_peered.route.directions) > len(ssh_plain.route.directions)
+    # The meter capped the limited pair at 100 Mb/s.
+    rate = limited.bytes_delivered * 8 / limited.flow_completion_time / 1e6
+    print(f"rate-limited pair achieved {rate:.1f} Mb/s (cap 100)")
+    assert rate <= 101.0
+    # The blackholed host received nothing.
+    print(f"blackholed flow delivered {doomed.bytes_delivered:.0f} bytes, "
+          f"terminal={doomed.route.terminal.value}")
+    assert doomed.bytes_delivered == 0
+    print("all four policies composed without interference ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate two TCP flows sharing a bottleneck link.
+
+Builds the smallest interesting network (h1 - s1 - s2 - h2 at 10 Mb/s),
+compiles a shortest-path forwarding policy, runs two competing flows at
+flow-level granularity, and prints their dynamics — the whole Horse
+pipeline in ~20 lines of API.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Flow, Horse
+from repro.net.generators import linear
+from repro.openflow.headers import tcp_flow
+
+
+def main() -> None:
+    # 1. Topology: h1 - s1 - s2 - h2, every link 10 Mb/s.
+    topo = linear(2, hosts_per_switch=1, capacity_bps=10e6)
+    h1, h2 = topo.host("h1"), topo.host("h2")
+
+    # 2. Policy: proactive shortest-path forwarding on IPv4 destinations.
+    horse = Horse(
+        topo,
+        policies={"forwarding": {"mode": "shortest-path", "match_on": "ip_dst"}},
+    )
+
+    # 3. Traffic: a 10 MB transfer, then a 5 MB transfer 1 s later.
+    first = Flow(
+        headers=tcp_flow(h1.ip, h2.ip, 10001, 80),
+        src="h1",
+        dst="h2",
+        demand_bps=8e6,
+        size_bytes=10_000_000,
+    )
+    second = Flow(
+        headers=tcp_flow(h1.ip, h2.ip, 10002, 80),
+        src="h1",
+        dst="h2",
+        demand_bps=8e6,
+        size_bytes=5_000_000,
+        start_time=1.0,
+    )
+    horse.submit_flows([first, second])
+
+    # 4. Run and report.
+    result = horse.run()
+    print(f"simulated {result.sim_time_s:.1f}s in "
+          f"{result.wall_time_s * 1000:.1f}ms of wall time "
+          f"({result.events} events)")
+    for flow in (first, second):
+        fct = flow.flow_completion_time
+        rate = flow.bytes_delivered * 8 / fct / 1e6
+        print(
+            f"  flow {flow.flow_id}: {flow.size_bytes / 1e6:.0f} MB "
+            f"done at t={flow.end_time:.2f}s "
+            f"(FCT {fct:.2f}s, avg {rate:.2f} Mb/s)"
+        )
+    # While both flows ran they split the 10 Mb/s bottleneck 5/5; alone,
+    # each is capped by its own 8 Mb/s demand.
+    assert abs(first.end_time - 13.0) < 1e-6
+    assert abs(second.end_time - 9.0) < 1e-6
+    print("max-min sharing matched the hand-computed schedule ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Reactive load balancing and failure recovery on a multipath fabric.
+
+Shows the full control loop of the poster's architecture: the monitor
+polls OpenFlow counters, the reactive balancer re-weights WCMP groups
+away from hot links, and when a spine link fails the controller
+recomputes and traffic converges onto the survivors.
+
+Run:  python examples/reactive_load_balancing.py
+"""
+
+from repro import Horse, HorseConfig
+from repro.net.generators import leaf_spine
+from repro.openflow.headers import tcp_flow
+from repro import Flow
+
+
+def main() -> None:
+    # Two spines, so every leaf has two equal-cost ways up.
+    topo = leaf_spine(num_leaves=3, num_spines=2, hosts_per_leaf=2,
+                      leaf_bps=1e9, spine_bps=1e9)
+    horse = Horse(
+        topo,
+        policies={
+            "load_balancing": {
+                "mode": "reactive",
+                "match_on": "ip_dst",
+                "threshold": 0.5,
+            }
+        },
+        config=HorseConfig(
+            monitor_interval_s=0.5, link_sample_interval_s=0.5
+        ),
+    )
+
+    # Cross-leaf elephants: enough to heat the spine uplinks.
+    flows = []
+    pairs = [("h1", "h3"), ("h2", "h4"), ("h1", "h5"), ("h2", "h6"),
+             ("h3", "h5"), ("h4", "h6"), ("h5", "h1"), ("h6", "h2")]
+    for i, (src, dst) in enumerate(pairs):
+        s, d = topo.host(src), topo.host(dst)
+        flows.append(
+            Flow(
+                headers=tcp_flow(s.ip, d.ip, 40000 + i, 80),
+                src=src, dst=dst, demand_bps=600e6, duration_s=10.0,
+            )
+        )
+    horse.submit_flows(flows)
+
+    # Fail one spine's link to leaf1 at t=4; restore at t=7.
+    horse.fail_link(4.0, "leaf1", "spine1")
+    horse.restore_link(7.0, "leaf1", "spine1")
+
+    result = horse.run(until=12.0)
+
+    app = horse.controller.app("reactive-lb")
+    print(f"{len(flows)} elephants over {result.sim_time_s:.0f}s; "
+          f"{result.events} events in {result.wall_time_s:.2f}s wall")
+    print(f"WCMP rebalances performed by the controller: {app.rebalances}")
+    reroutes = sum(f.reroutes for f in flows)
+    print(f"flow reroutes (failure + recovery + rebalancing): {reroutes}")
+    assert all(f.delivered for f in flows), "every flow survived the failure"
+    print("all flows kept flowing through the spine failure ✓")
+
+    print("\nper-uplink peak utilization:")
+    for key, value in sorted(result.link_max_utilization.items()):
+        node, port = key
+        if node.startswith("leaf"):
+            print(f"  {node}:{port}  {value:6.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Horse: a flow-level SDN traffic dynamics simulator for large scale
+networks.
+
+Reproduction of *"Horse: towards an SDN traffic dynamics simulator for
+large scale networks"* (Fernandes, Antichi, Castro, Uhlig — SIGCOMM
+2016).  The public API re-exports the pieces most users need; see the
+subpackages for the full surface:
+
+* :mod:`repro.core` — the :class:`Horse` façade, config, results.
+* :mod:`repro.sim` — the discrete-event kernel.
+* :mod:`repro.net` — addresses, topology, generators.
+* :mod:`repro.openflow` — the OpenFlow abstraction.
+* :mod:`repro.flowsim` — the flow-level engine (the contribution).
+* :mod:`repro.pktsim` — the packet-level baseline.
+* :mod:`repro.control` — controller, apps, channel, monitor, policies.
+* :mod:`repro.traffic` — matrices, generators, replay, IXP traces.
+* :mod:`repro.ixp` — members, route server, peering fabric.
+* :mod:`repro.stats` — collection and comparison metrics.
+"""
+
+from .core import Horse, HorseConfig, RunResult
+from .errors import HorseError
+from .flowsim import Flow, FlowLevelEngine, FlowState
+from .net import Host, IPv4Address, IPv4Network, MacAddress, Switch, Topology
+from .pktsim import PacketLevelEngine
+from .sim import Simulator
+from .traffic import FlowGenConfig, FlowGenerator, TrafficMatrix, TrafficReplay
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Flow",
+    "FlowGenConfig",
+    "FlowGenerator",
+    "FlowLevelEngine",
+    "FlowState",
+    "Horse",
+    "HorseConfig",
+    "HorseError",
+    "Host",
+    "IPv4Address",
+    "IPv4Network",
+    "MacAddress",
+    "PacketLevelEngine",
+    "RunResult",
+    "Simulator",
+    "Switch",
+    "Topology",
+    "TrafficMatrix",
+    "TrafficReplay",
+    "__version__",
+]

@@ -1,0 +1,223 @@
+"""Command-line interface: run scenarios and manage topologies.
+
+Three subcommands::
+
+    python -m repro topo --kind fat-tree --k 4 --out topo.json
+    python -m repro info topo.json
+    python -m repro run scenario.json --flows-csv flows.csv --json run.json
+
+A *scenario* is one JSON document describing topology, policies,
+traffic, and engine — everything a run needs, so experiments are
+shareable files rather than scripts.  Schema::
+
+    {
+      "engine": "flow" | "packet",
+      "seed": 0,
+      "until": 60.0,
+      "topology": {"kind": "fat-tree", "k": 4}
+                | {"kind": "leaf-spine", "leaves": 4, "spines": 2, ...}
+                | {"kind": "linear", "switches": 3, ...}
+                | {"kind": "ixp", "members": 32, "seed": 1}
+                | {"file": "topo.json"},
+      "policies": { ... same dict the policy generator accepts ... },
+      "traffic":  {"kind": "matrix", "model": "uniform" | "gravity-ixp",
+                   "total": "10 Gbps", "horizon_s": 5.0,
+                   "constant_rate": false}
+                | {"kind": "trace", "file": "flows.jsonl"}
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Tuple
+
+from .core import Horse, HorseConfig
+from .errors import ExperimentError, HorseError
+from .net.generators import fat_tree, leaf_spine, linear, single_switch
+from .net.io import load_topology, save_topology, topology_from_dict
+from .net.topology import Topology
+from .stats.export import flows_to_csv, result_to_json, summary_text
+from .traffic.matrix import TrafficMatrix
+from .control.policy.spec import parse_rate
+
+
+def _build_topology(spec: dict):
+    """Build a topology (and the IXP fabric, when applicable)."""
+    if "file" in spec:
+        return load_topology(spec["file"]), None
+    kind = spec.get("kind")
+    if kind == "fat-tree":
+        return fat_tree(spec.get("k", 4)), None
+    if kind == "leaf-spine":
+        return (
+            leaf_spine(
+                spec.get("leaves", 4),
+                spec.get("spines", 2),
+                hosts_per_leaf=spec.get("hosts_per_leaf", 2),
+            ),
+            None,
+        )
+    if kind == "linear":
+        return (
+            linear(
+                spec.get("switches", 2),
+                hosts_per_switch=spec.get("hosts_per_switch", 1),
+            ),
+            None,
+        )
+    if kind == "star":
+        return single_switch(spec.get("hosts", 4)), None
+    if kind == "ixp":
+        from .ixp import build_ixp
+
+        fabric = build_ixp(
+            spec.get("members", 16), seed=spec.get("seed", 0)
+        )
+        return fabric.topology, fabric
+    raise ExperimentError(f"unknown topology kind {kind!r}")
+
+
+def _build_traffic(spec: dict, horse: Horse, fabric) -> int:
+    """Generate and submit the scenario's traffic; returns flow count."""
+    kind = spec.get("kind", "matrix")
+    if kind == "trace":
+        from .traffic.trace_io import load_trace
+
+        flows = load_trace(spec["file"])
+        horse.submit_flows(flows)
+        return len(flows)
+    if kind == "matrix":
+        model = spec.get("model", "uniform")
+        total = parse_rate(spec.get("total", "1 Gbps"))
+        hosts = [h.name for h in horse.topology.hosts]
+        if model == "uniform":
+            matrix = TrafficMatrix.uniform(hosts, total_bps=total)
+        elif model == "gravity-ixp":
+            if fabric is None:
+                raise ExperimentError(
+                    "gravity-ixp traffic needs an ixp topology"
+                )
+            from .traffic.ixp_trace import ixp_gravity_matrix
+
+            matrix = ixp_gravity_matrix(fabric, total_bps=total)
+        else:
+            raise ExperimentError(f"unknown matrix model {model!r}")
+        flows = horse.submit_matrix(
+            matrix,
+            horizon_s=spec.get("horizon_s", 5.0),
+            constant_rate=spec.get("constant_rate", False),
+        )
+        return len(flows)
+    raise ExperimentError(f"unknown traffic kind {kind!r}")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    with open(args.scenario) as handle:
+        scenario = json.load(handle)
+    topology, fabric = _build_topology(scenario.get("topology", {}))
+    config = HorseConfig(
+        engine=scenario.get("engine", "flow"),
+        seed=scenario.get("seed", 0),
+        link_sample_interval_s=scenario.get("link_sample_interval_s"),
+        monitor_interval_s=scenario.get("monitor_interval_s"),
+    )
+    horse = Horse(
+        topology, policies=scenario.get("policies") or {}, config=config
+    )
+    count = _build_traffic(scenario.get("traffic", {}), horse, fabric)
+    print(f"scenario: {args.scenario} ({count} flows submitted)")
+    result = horse.run(until=scenario.get("until"))
+    print(summary_text(result))
+    if args.flows_csv:
+        rows = flows_to_csv(result, args.flows_csv)
+        print(f"wrote {rows} flow records to {args.flows_csv}")
+    if args.json:
+        result_to_json(result, args.json)
+        print(f"wrote run document to {args.json}")
+    return 0
+
+
+def cmd_topo(args: argparse.Namespace) -> int:
+    spec = {"kind": args.kind}
+    if args.k is not None:
+        spec["k"] = args.k
+    if args.members is not None:
+        spec["members"] = args.members
+    if args.switches is not None:
+        spec["switches"] = args.switches
+    if args.hosts is not None:
+        spec["hosts"] = args.hosts
+    if args.seed is not None:
+        spec["seed"] = args.seed
+    topology, _ = _build_topology(spec)
+    save_topology(topology, args.out)
+    print(f"wrote {topology.summary()} to {args.out}")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    topology = load_topology(args.topology)
+    summary = topology.summary()
+    print(f"name     : {summary['name']}")
+    print(f"hosts    : {summary['hosts']}")
+    print(f"switches : {summary['switches']}")
+    print(f"links    : {summary['links']}")
+    print(f"capacity : {summary['total_capacity_bps'] / 1e9:.3g} Gb/s total")
+    degree = {}
+    for node in topology.nodes:
+        degree[node.name] = len(node.connected_ports)
+    hubs = sorted(degree.items(), key=lambda kv: -kv[1])[:5]
+    print("highest-degree nodes:")
+    for name, deg in hubs:
+        print(f"  {name}: {deg} links")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Horse: flow-level SDN traffic dynamics simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run a scenario file")
+    run_p.add_argument("scenario", help="scenario JSON path")
+    run_p.add_argument("--flows-csv", help="write per-flow records here")
+    run_p.add_argument("--json", help="write the full run document here")
+    run_p.set_defaults(func=cmd_run)
+
+    topo_p = sub.add_parser("topo", help="generate a topology file")
+    topo_p.add_argument(
+        "--kind",
+        required=True,
+        choices=["fat-tree", "leaf-spine", "linear", "star", "ixp"],
+    )
+    topo_p.add_argument("--k", type=int, help="fat-tree arity")
+    topo_p.add_argument("--members", type=int, help="IXP member count")
+    topo_p.add_argument("--switches", type=int, help="linear chain length")
+    topo_p.add_argument("--hosts", type=int, help="star host count")
+    topo_p.add_argument("--seed", type=int)
+    topo_p.add_argument("--out", required=True, help="output JSON path")
+    topo_p.set_defaults(func=cmd_topo)
+
+    info_p = sub.add_parser("info", help="describe a topology file")
+    info_p.add_argument("topology", help="topology JSON path")
+    info_p.set_defaults(func=cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (HorseError, OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Control plane: controller, apps, channel, monitoring, and policies."""
+
+from .app import ControllerApp
+from .channel import ControlChannel
+from .controller import Controller
+from .monitor import NetworkMonitor
+
+__all__ = [
+    "ControlChannel",
+    "Controller",
+    "ControllerApp",
+    "NetworkMonitor",
+]

@@ -1,0 +1,198 @@
+"""Controller application base class.
+
+Apps are the "lightweight and modular controller" units of the poster's
+policy generator.  Each app translates one policy into OpenFlow rule
+updates, reacting to packet-ins, port status changes, flow removals, and
+monitor samples.  Apps are ordered; for packet-ins, the first app that
+returns a packet-out decision wins (simple sequential composition — see
+:mod:`repro.control.policy.composition` for the richer operator).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from ..openflow.action import Instruction
+from ..openflow.match import Match
+from ..openflow.messages import (
+    FlowMod,
+    FlowModCommand,
+    FlowRemoved,
+    GroupMod,
+    GroupModCommand,
+    MeterMod,
+    MeterModCommand,
+    PacketIn,
+    PortStatus,
+)
+from ..openflow.group import Bucket, GroupType
+from ..openflow.meter import DropBand
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .controller import Controller
+
+
+class ControllerApp:
+    """Base class: override the ``on_*`` handlers you need.
+
+    ``cookie`` tags every rule the app installs, so its rules can be
+    attributed and bulk-deleted.  Subclasses set ``name``.
+    """
+
+    #: Cookie space: apps get cookie = _COOKIE_BASE + registration index.
+    _COOKIE_BASE = 0x48000000  # 'H' for Horse
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.controller: Optional["Controller"] = None
+        self.cookie = 0  # assigned when added to a controller
+        #: Table this app installs into (set by the policy composer).
+        self.table_id = 0
+        self.enabled = True
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Install proactive state (called once the channel is attached)."""
+
+    def stop(self) -> None:
+        """Remove this app's rules from every switch."""
+        for dpid in self.channel.datapath_ids():
+            self.send(
+                FlowMod(
+                    dpid=dpid,
+                    command=FlowModCommand.DELETE,
+                    table_id=self.table_id,
+                    match=Match(),
+                    cookie=self.cookie,
+                )
+            )
+        self.enabled = False
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def on_packet_in(self, message: PacketIn) -> Optional[List[int]]:
+        """Handle a packet-in; return packet-out ports to claim it."""
+        return None
+
+    def on_port_status(self, message: PortStatus) -> None:
+        """Handle a port/link state change."""
+
+    def on_flow_removed(self, message: FlowRemoved) -> None:
+        """Handle a flow entry removal."""
+
+    def on_monitor_sample(self, sample: dict) -> None:
+        """Handle a monitoring sample (see repro.control.monitor)."""
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def channel(self):
+        if self.controller is None or self.controller.channel is None:
+            raise RuntimeError(f"app {self.name} is not attached to a channel")
+        return self.controller.channel
+
+    @property
+    def topology(self):
+        return self.channel.topology
+
+    @property
+    def sim(self):
+        return self.channel.sim
+
+    def send(self, message) -> object:
+        """Send a southbound message through the channel."""
+        return self.channel.send(message)
+
+    # Rule-building helpers ---------------------------------------------
+    def add_flow(
+        self,
+        dpid: int,
+        match: Match,
+        instructions: Sequence[Instruction],
+        priority: int = 0,
+        table_id: Optional[int] = None,
+        idle_timeout: float = 0.0,
+        hard_timeout: float = 0.0,
+        check_overlap: bool = False,
+    ) -> None:
+        """Install one flow rule stamped with this app's cookie."""
+        self.send(
+            FlowMod(
+                dpid=dpid,
+                command=FlowModCommand.ADD,
+                table_id=self.table_id if table_id is None else table_id,
+                match=match,
+                priority=priority,
+                instructions=tuple(instructions),
+                idle_timeout=idle_timeout,
+                hard_timeout=hard_timeout,
+                cookie=self.cookie,
+                check_overlap=check_overlap,
+            )
+        )
+
+    def delete_flows(
+        self, dpid: int, match: Match, table_id: Optional[int] = None
+    ) -> None:
+        """Delete this app's rules subsumed by ``match`` on one switch."""
+        self.send(
+            FlowMod(
+                dpid=dpid,
+                command=FlowModCommand.DELETE,
+                table_id=self.table_id if table_id is None else table_id,
+                match=match,
+                cookie=self.cookie,
+            )
+        )
+
+    def add_group(
+        self,
+        dpid: int,
+        group_id: int,
+        group_type: GroupType,
+        buckets: Sequence[Bucket],
+        modify_existing: bool = True,
+    ) -> None:
+        """Add (or modify, when it exists) a group on one switch."""
+        pipeline = self.topology.switch_by_dpid(dpid).pipeline
+        command = GroupModCommand.ADD
+        if modify_existing and pipeline is not None and group_id in pipeline.groups:
+            command = GroupModCommand.MODIFY
+        self.send(
+            GroupMod(
+                dpid=dpid,
+                command=command,
+                group_id=group_id,
+                group_type=group_type,
+                buckets=tuple(buckets),
+            )
+        )
+
+    def add_meter(
+        self,
+        dpid: int,
+        meter_id: int,
+        rate_bps: float,
+        burst_bits: float = 0.0,
+        modify_existing: bool = True,
+    ) -> None:
+        """Add (or modify) a single-drop-band meter on one switch."""
+        pipeline = self.topology.switch_by_dpid(dpid).pipeline
+        command = MeterModCommand.ADD
+        if modify_existing and pipeline is not None and meter_id in pipeline.meters:
+            command = MeterModCommand.MODIFY
+        self.send(
+            MeterMod(
+                dpid=dpid,
+                command=command,
+                meter_id=meter_id,
+                bands=(DropBand(rate_bps=rate_bps, burst_bits=burst_bits),),
+            )
+        )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r} table={self.table_id}>"

@@ -1,0 +1,125 @@
+"""Application-based peering (the poster's "application specific
+policy": 'e1->e3 : http').
+
+Traffic of a given application (transport port) between two endpoints is
+steered over a dedicated path, overriding base forwarding with
+higher-priority rules that additionally match the application port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from ...errors import ControlPlaneError, TopologyError
+from ...net.address import IPv4Address, IPv4Network
+from ...openflow.action import ApplyActions, Output
+from ...openflow.headers import AppPort, EthType, IpProto
+from ...openflow.match import Match
+from ..app import ControllerApp
+
+#: Application names accepted in specs (the poster's 'http' style).
+APP_PORTS = {
+    "http": AppPort.HTTP,
+    "https": AppPort.HTTPS,
+    "dns": AppPort.DNS,
+    "ssh": AppPort.SSH,
+    "rtmp": AppPort.RTMP,
+}
+
+
+def app_port(app: Union[str, int]) -> int:
+    """Resolve an application name or explicit port number."""
+    if isinstance(app, int):
+        if not 0 < app < 65536:
+            raise ControlPlaneError(f"bad application port {app}")
+        return app
+    try:
+        return APP_PORTS[app.lower()]
+    except KeyError:
+        raise ControlPlaneError(
+            f"unknown application {app!r}; known: {sorted(APP_PORTS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class PeeringRule:
+    """Steer ``app`` traffic from ``src`` prefix to ``dst`` prefix over
+    ``path`` (a host-to-host node-name path, or None for the second
+    shortest path between the endpoints' attachment switches)."""
+
+    src_host: str
+    dst_host: str
+    app: Union[str, int]
+    path: Optional[Sequence[str]] = None
+
+
+class AppPeeringApp(ControllerApp):
+    """Install per-application path overrides.
+
+    Parameters
+    ----------
+    rules:
+        The peering rules.
+    priority:
+        Must outrank base forwarding (default 60).
+    alternative_path_index:
+        When a rule has no explicit path, use the k-th shortest simple
+        path (1 = shortest, default 2 = first alternative), falling back
+        to the shortest when no alternative exists.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[PeeringRule] = (),
+        name: str = "app-peering",
+        priority: int = 60,
+        alternative_path_index: int = 2,
+    ) -> None:
+        super().__init__(name)
+        self.rules: List[PeeringRule] = list(rules)
+        self.priority = priority
+        self.alternative_path_index = alternative_path_index
+
+    def start(self) -> None:
+        for rule in self.rules:
+            self._install(rule)
+
+    def _resolve_path(self, rule: PeeringRule) -> List[str]:
+        if rule.path is not None:
+            return list(rule.path)
+        k = self.alternative_path_index
+        paths = self.topology.k_shortest_paths(rule.src_host, rule.dst_host, k)
+        return paths[min(k, len(paths)) - 1]
+
+    def _install(self, rule: PeeringRule) -> None:
+        src = self.topology.host(rule.src_host)
+        dst = self.topology.host(rule.dst_host)
+        port = app_port(rule.app)
+        path = self._resolve_path(rule)
+        if path[0] != src.name or path[-1] != dst.name:
+            raise ControlPlaneError(
+                f"peering path {path} does not connect "
+                f"{src.name} -> {dst.name}"
+            )
+        match = Match(
+            eth_type=EthType.IPV4,
+            ip_src=src.ip,
+            ip_dst=dst.ip,
+            ip_proto=IpProto.TCP,
+            tp_dst=port,
+        )
+        for i in range(1, len(path) - 1):
+            switch = self.topology.switch(path[i])
+            egress = self.topology.egress_port(switch.name, path[i + 1])
+            self.add_flow(
+                switch.dpid,
+                match,
+                (ApplyActions((Output(egress.number),)),),
+                priority=self.priority,
+            )
+
+    def add_rule(self, rule: PeeringRule) -> None:
+        """Add a peering override at runtime."""
+        self.rules.append(rule)
+        self._install(rule)

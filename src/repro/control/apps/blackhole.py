@@ -1,0 +1,99 @@
+"""Blackholing: drop traffic to/from a victim address or prefix.
+
+The classic IXP DDoS mitigation the poster lists among legacy policies:
+high-priority drop rules, installed fabric-wide or at the edge only.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+from ...errors import ControlPlaneError
+from ...net.address import IPv4Address, IPv4Network, MacAddress
+from ...openflow.action import ApplyActions, Drop
+from ...openflow.match import Match
+from ..app import ControllerApp
+
+Target = Union[IPv4Address, IPv4Network, MacAddress]
+
+
+class BlackholeApp(ControllerApp):
+    """Install drop rules for victim targets.
+
+    Parameters
+    ----------
+    targets:
+        Addresses/prefixes to blackhole.
+    direction:
+        ``"dst"`` (default: drop traffic *to* the victim), ``"src"``
+        (drop traffic *from* it), or ``"both"``.
+    scope:
+        ``"all"`` switches (default) or an iterable of switch names.
+    priority:
+        Must outrank forwarding rules (default 100).
+    """
+
+    def __init__(
+        self,
+        targets: Sequence[Target] = (),
+        name: str = "blackhole",
+        direction: str = "dst",
+        scope: Union[str, Iterable[str]] = "all",
+        priority: int = 100,
+    ) -> None:
+        super().__init__(name)
+        if direction not in ("dst", "src", "both"):
+            raise ControlPlaneError(f"direction must be dst/src/both, got {direction}")
+        self.targets: List[Target] = list(targets)
+        self.direction = direction
+        self.scope = scope
+        self.priority = priority
+
+    def _scoped_dpids(self) -> List[int]:
+        if self.scope == "all":
+            return self.channel.datapath_ids()
+        names = set(self.scope)
+        return [
+            s.dpid for s in self.topology.switches if s.name in names
+        ]
+
+    def _matches_for(self, target: Target) -> List[Match]:
+        matches = []
+        if isinstance(target, MacAddress):
+            if self.direction in ("dst", "both"):
+                matches.append(Match(eth_dst=target))
+            if self.direction in ("src", "both"):
+                matches.append(Match(eth_src=target))
+        else:
+            if self.direction in ("dst", "both"):
+                matches.append(Match(ip_dst=target))
+            if self.direction in ("src", "both"):
+                matches.append(Match(ip_src=target))
+        return matches
+
+    def start(self) -> None:
+        for target in self.targets:
+            self._install(target)
+
+    def _install(self, target: Target) -> None:
+        instructions = (ApplyActions((Drop(),)),)
+        for dpid in self._scoped_dpids():
+            for match in self._matches_for(target):
+                self.add_flow(dpid, match, instructions, priority=self.priority)
+
+    # ------------------------------------------------------------------
+    # Runtime management (mitigation is usually turned on under attack)
+    # ------------------------------------------------------------------
+    def add_target(self, target: Target) -> None:
+        """Blackhole a new victim immediately."""
+        self.targets.append(target)
+        self._install(target)
+
+    def remove_target(self, target: Target) -> None:
+        """Lift the blackhole for one victim."""
+        if target not in self.targets:
+            raise ControlPlaneError(f"{target} is not blackholed")
+        self.targets.remove(target)
+        for dpid in self._scoped_dpids():
+            for match in self._matches_for(target):
+                self.delete_flows(dpid, match)

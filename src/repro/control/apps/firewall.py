@@ -1,0 +1,136 @@
+"""A stateless firewall: ordered allow/deny rules over match fields.
+
+IXP fabrics enforce port security and protocol hygiene at the edge
+(only IPv4/ARP from the member's MAC, no leaked IGP chatter, etc.).
+:class:`FirewallApp` compiles an ordered ACL into priority-stacked
+OpenFlow rules: each ACL entry becomes a rule whose action is either
+Drop (deny) or GotoTable/no-op (allow), with a configurable default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Union
+
+from ...errors import ControlPlaneError
+from ...openflow.action import ApplyActions, Drop, GotoTable
+from ...openflow.match import Match
+from ..app import ControllerApp
+
+
+@dataclass(frozen=True)
+class AclRule:
+    """One access-control entry: ``match`` then allow or deny."""
+
+    match: Match
+    allow: bool
+
+    def __repr__(self) -> str:
+        verb = "allow" if self.allow else "deny"
+        return f"<AclRule {verb} {self.match.describe()}>"
+
+
+class FirewallApp(ControllerApp):
+    """Install an ordered ACL on selected switches.
+
+    Semantics mirror router ACLs: the first matching entry decides;
+    ``default_allow`` covers the rest.  Like the rate limiter, the
+    firewall occupies an early pipeline table and allows by jumping to
+    the next table, so it composes with any forwarding policy.
+
+    Parameters
+    ----------
+    rules:
+        Ordered ACL; earlier entries win (compiled to higher priority).
+    default_allow:
+        Behaviour when nothing matches (True = permit).
+    scope:
+        ``"all"`` or an iterable of switch names (e.g. the edge only).
+    """
+
+    #: Priority of the first ACL entry; later entries count down.
+    BASE_PRIORITY = 1000
+
+    def __init__(
+        self,
+        rules: Sequence[AclRule] = (),
+        name: str = "firewall",
+        default_allow: bool = True,
+        scope: Union[str, Iterable[str]] = "all",
+    ) -> None:
+        super().__init__(name)
+        self.rules: List[AclRule] = list(rules)
+        self.default_allow = default_allow
+        self.scope = scope
+        self.next_table: Optional[int] = None
+
+    def _scoped_dpids(self) -> List[int]:
+        if self.scope == "all":
+            return self.channel.datapath_ids()
+        names = set(self.scope)
+        return [s.dpid for s in self.topology.switches if s.name in names]
+
+    def _require_next_table(self) -> int:
+        next_table = (
+            self.next_table if self.next_table is not None else self.table_id + 1
+        )
+        for switch in self.topology.switches:
+            if switch.pipeline is not None and next_table >= len(
+                switch.pipeline.tables
+            ):
+                raise ControlPlaneError(
+                    f"the firewall needs a table after {self.table_id} to "
+                    f"jump to on allow, but {switch.name} has only "
+                    f"{len(switch.pipeline.tables)} tables"
+                )
+        return next_table
+
+    def start(self) -> None:
+        next_table = self._require_next_table()
+        if len(self.rules) >= self.BASE_PRIORITY:
+            raise ControlPlaneError(
+                f"ACL too long ({len(self.rules)} entries; "
+                f"max {self.BASE_PRIORITY - 1})"
+            )
+        for dpid in self._scoped_dpids():
+            for index, rule in enumerate(self.rules):
+                priority = self.BASE_PRIORITY - index
+                if rule.allow:
+                    instructions = (GotoTable(next_table),)
+                else:
+                    instructions = (ApplyActions((Drop(),)),)
+                self.add_flow(dpid, rule.match, instructions, priority=priority)
+            # Default entry below every ACL rule.
+            default_instructions = (
+                (GotoTable(next_table),)
+                if self.default_allow
+                else (ApplyActions((Drop(),)),)
+            )
+            self.add_flow(dpid, Match(), default_instructions, priority=0)
+
+    # ------------------------------------------------------------------
+    def append_rule(self, rule: AclRule) -> None:
+        """Add an entry at the end of the ACL at runtime."""
+        next_table = self._require_next_table()
+        index = len(self.rules)
+        self.rules.append(rule)
+        priority = self.BASE_PRIORITY - index
+        if priority <= 0:
+            raise ControlPlaneError("ACL exhausted its priority band")
+        instructions = (
+            (GotoTable(next_table),)
+            if rule.allow
+            else (ApplyActions((Drop(),)),)
+        )
+        for dpid in self._scoped_dpids():
+            self.add_flow(dpid, rule.match, instructions, priority=priority)
+
+
+def deny(match: Match) -> AclRule:
+    """Shorthand for a deny entry."""
+    return AclRule(match=match, allow=False)
+
+
+def allow(match: Match) -> AclRule:
+    """Shorthand for an allow entry."""
+    return AclRule(match=match, allow=True)

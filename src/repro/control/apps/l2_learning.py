@@ -1,0 +1,96 @@
+"""Reactive L2 learning switch (the poster's "basic forwarding based on
+source and destination MAC").
+
+Installs a table-miss rule punting to the controller; on each packet-in
+it learns the source MAC's port and either forwards/installs toward a
+learned destination or floods.  Suitable for loop-free topologies
+(trees, stars); use :class:`ShortestPathApp` on meshes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...net.address import MacAddress
+from ...openflow.action import (
+    ApplyActions,
+    Flood,
+    GotoTable,
+    Output,
+    PORT_FLOOD,
+    ToController,
+)
+from ...openflow.match import Match
+from ...openflow.messages import FlowRemoved, PacketIn, PortStatus
+from ..app import ControllerApp
+
+
+class L2LearningApp(ControllerApp):
+    """MAC-learning forwarding with reactive rule installation.
+
+    Parameters
+    ----------
+    idle_timeout:
+        Idle timeout of installed forwarding rules (0 = permanent).
+    priority:
+        Priority of installed forwarding rules.
+    """
+
+    def __init__(
+        self,
+        name: str = "l2-learning",
+        idle_timeout: float = 0.0,
+        priority: int = 10,
+    ) -> None:
+        super().__init__(name)
+        self.idle_timeout = idle_timeout
+        self.priority = priority
+        #: (dpid, mac) -> port number
+        self.mac_table: Dict[Tuple[int, MacAddress], int] = {}
+
+    def start(self) -> None:
+        instructions = (ApplyActions((ToController(),)),)
+        for dpid in self.channel.datapath_ids():
+            self.add_flow(dpid, Match(), instructions, priority=0)
+
+    def on_packet_in(self, message: PacketIn) -> Optional[List[int]]:
+        headers = message.headers
+        if headers is None:
+            return None
+        if headers.eth_src is not None:
+            self.mac_table[(message.dpid, headers.eth_src)] = message.in_port
+        if headers.eth_dst is None or headers.eth_dst.is_broadcast:
+            return [PORT_FLOOD]
+        out_port = self.mac_table.get((message.dpid, headers.eth_dst))
+        if out_port is None:
+            return [PORT_FLOOD]
+        # Destination learned: install and forward directly.
+        self.add_flow(
+            message.dpid,
+            Match(eth_dst=headers.eth_dst),
+            (ApplyActions((Output(out_port),)),),
+            priority=self.priority,
+            idle_timeout=self.idle_timeout,
+        )
+        return [out_port]
+
+    def on_port_status(self, message: PortStatus) -> None:
+        if message.link_up:
+            return
+        # Purge learnings and rules through the dead port.
+        stale = [
+            key
+            for key, port in self.mac_table.items()
+            if key[0] == message.dpid and port == message.port_no
+        ]
+        for key in stale:
+            del self.mac_table[key]
+            self.delete_flows(message.dpid, Match(eth_dst=key[1]))
+
+    def on_flow_removed(self, message: FlowRemoved) -> None:
+        # An idle-timed-out rule means the learning may be stale too.
+        if message.cookie != self.cookie:
+            return
+        eth_dst = message.match.eth_dst
+        if eth_dst is not None:
+            self.mac_table.pop((message.dpid, eth_dst), None)

@@ -1,0 +1,189 @@
+"""Multipath load balancing: ECMP, WCMP, and a reactive variant.
+
+Per destination host, every switch with several equal-cost next hops
+gets a SELECT group hashing flows across them (ECMP).  WCMP starts from
+explicit weights; the reactive variant re-weights buckets away from hot
+links using monitor samples — the monitor→policy loop of experiment E5.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from ...errors import ControlPlaneError
+from ...net.node import Host, Switch
+from ...openflow.action import ApplyActions, GroupAction, Output
+from ...openflow.group import Bucket, GroupType
+from ...openflow.match import Match
+from ...openflow.messages import PortStatus
+from ..app import ControllerApp
+
+
+class EcmpLoadBalancerApp(ControllerApp):
+    """Hash-based equal-cost multipath forwarding.
+
+    Parameters
+    ----------
+    match_on:
+        ``"eth_dst"`` or ``"ip_dst"`` (default).
+    priority:
+        Priority of installed rules.
+    weights:
+        Optional static WCMP weights: ``{(switch_name, port_no): weight}``.
+    """
+
+    def __init__(
+        self,
+        name: str = "ecmp-lb",
+        match_on: str = "ip_dst",
+        priority: int = 10,
+        weights: Optional[Dict[Tuple[str, int], int]] = None,
+    ) -> None:
+        super().__init__(name)
+        if match_on not in ("eth_dst", "ip_dst"):
+            raise ControlPlaneError(f"match_on must be eth_dst/ip_dst, got {match_on}")
+        self.match_on = match_on
+        self.priority = priority
+        self.weights = dict(weights or {})
+        #: (dpid, dst host name) -> group id
+        self.group_ids: Dict[Tuple[int, str], int] = {}
+        self._next_group: Dict[int, int] = {}
+        #: (dpid, group_id) -> ordered egress port list (for re-weighting)
+        self.group_ports: Dict[Tuple[int, int], List[int]] = {}
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.install_all()
+
+    def install_all(self) -> None:
+        for host in self.topology.hosts:
+            self._install_for_destination(host)
+
+    def _match_for(self, host: Host) -> Match:
+        if self.match_on == "eth_dst":
+            return Match(eth_dst=host.mac)
+        return Match(ip_dst=host.ip)
+
+    def _distances(self, dst: Host) -> Dict[str, int]:
+        """Hop distance to dst over up links (hosts don't forward)."""
+        topo = self.topology
+        dist = {dst.name: 0}
+        frontier = deque([dst.name])
+        while frontier:
+            name = frontier.popleft()
+            for neighbor in topo.neighbors(name, up_only=True):
+                if neighbor.name in dist:
+                    continue
+                dist[neighbor.name] = dist[name] + 1
+                if isinstance(neighbor, Switch):
+                    frontier.append(neighbor.name)
+        return dist
+
+    def _install_for_destination(self, dst: Host) -> None:
+        dist = self._distances(dst)
+        match = self._match_for(dst)
+        for switch in self.topology.switches:
+            if switch.name not in dist:
+                continue
+            next_hops = [
+                n
+                for n in self.topology.neighbors(switch.name, up_only=True)
+                if n.name in dist and dist[n.name] == dist[switch.name] - 1
+            ]
+            if not next_hops:
+                continue
+            ports = sorted(
+                self.topology.egress_port(switch.name, n.name).number
+                for n in next_hops
+            )
+            if len(ports) == 1:
+                self.add_flow(
+                    switch.dpid,
+                    match,
+                    (ApplyActions((Output(ports[0]),)),),
+                    priority=self.priority,
+                )
+                continue
+            group_id = self._group_for(switch.dpid, dst.name)
+            buckets = [
+                Bucket(
+                    (Output(p),),
+                    weight=self.weights.get((switch.name, p), 1),
+                )
+                for p in ports
+            ]
+            self.add_group(switch.dpid, group_id, GroupType.SELECT, buckets)
+            self.group_ports[(switch.dpid, group_id)] = ports
+            self.add_flow(
+                switch.dpid,
+                match,
+                (ApplyActions((GroupAction(group_id),)),),
+                priority=self.priority,
+            )
+
+    def _group_for(self, dpid: int, dst_name: str) -> int:
+        key = (dpid, dst_name)
+        if key not in self.group_ids:
+            self._next_group[dpid] = self._next_group.get(dpid, 0) + 1
+            self.group_ids[key] = self._next_group[dpid]
+        return self.group_ids[key]
+
+    # ------------------------------------------------------------------
+    def on_port_status(self, message: PortStatus) -> None:
+        for dpid in self.channel.datapath_ids():
+            self.delete_flows(dpid, Match())
+        self.install_all()
+
+
+class ReactiveLoadBalancerApp(EcmpLoadBalancerApp):
+    """WCMP that shifts weight away from hot egress links.
+
+    Consumes monitor samples (see
+    :class:`repro.control.monitor.NetworkMonitor`): when any watched
+    egress link of a group exceeds ``threshold`` utilization, bucket
+    weights are recomputed inversely proportional to utilization and the
+    group is modified in place — flows re-hash onto cooler paths.
+    """
+
+    def __init__(
+        self,
+        name: str = "reactive-lb",
+        match_on: str = "ip_dst",
+        priority: int = 10,
+        threshold: float = 0.8,
+        min_imbalance: float = 0.15,
+        weight_scale: int = 10,
+    ) -> None:
+        super().__init__(name=name, match_on=match_on, priority=priority)
+        if not 0 < threshold <= 1:
+            raise ControlPlaneError(f"threshold must be in (0,1], got {threshold}")
+        self.threshold = threshold
+        #: Hysteresis: don't touch a group unless the spread between its
+        #: hottest and coolest egress exceeds this, or re-hashing whole
+        #: buckets just oscillates the hot spot.
+        self.min_imbalance = min_imbalance
+        self.weight_scale = weight_scale
+        self.rebalances = 0
+
+    def on_monitor_sample(self, sample: dict) -> None:
+        utilization = sample.get("utilization", {})
+        for (dpid, group_id), ports in list(self.group_ports.items()):
+            switch = self.topology.switch_by_dpid(dpid)
+            utils = [
+                utilization.get((switch.name, p), 0.0) for p in ports
+            ]
+            if not utils or max(utils) < self.threshold:
+                continue
+            if max(utils) - min(utils) < self.min_imbalance:
+                continue  # both paths hot: re-hashing cannot help
+            # New weight: proportional to free headroom, at least 1.
+            buckets = [
+                Bucket(
+                    (Output(p),),
+                    weight=max(1, round(self.weight_scale * (1.0 - u))),
+                )
+                for p, u in zip(ports, utils)
+            ]
+            self.add_group(dpid, group_id, GroupType.SELECT, buckets)
+            self.rebalances += 1

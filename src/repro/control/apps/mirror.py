@@ -1,0 +1,130 @@
+"""Traffic mirroring: copy selected traffic to a monitor port.
+
+IXPs tap peering traffic toward analytics boxes.  :class:`MirrorApp`
+rewrites matching rules to an ALL group whose buckets are (a) the
+original forwarding decision and (b) an Output to the tap port, so the
+aggregate is replicated without disturbing the primary path.
+
+Because mirroring must wrap whatever forwarding decides, the app runs
+*after* the forwarding table would have: it installs higher-priority
+rules in the same table whose ALL group contains both the tap output
+and the forwarding egress, resolved at install time from the topology's
+shortest path (the same decision ShortestPathApp makes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ...errors import ControlPlaneError
+from ...net.node import Host
+from ...openflow.action import ApplyActions, GroupAction, Output
+from ...openflow.group import Bucket, GroupType
+from ...openflow.match import Match
+from ..app import ControllerApp
+
+
+@dataclass(frozen=True)
+class MirrorRule:
+    """Mirror traffic matching ``match`` at switch ``switch_name`` to
+    host ``tap_host`` (which must attach to that switch)."""
+
+    switch_name: str
+    match: Match
+    tap_host: str
+
+
+class MirrorApp(ControllerApp):
+    """Install ALL-group mirroring rules.
+
+    Restrictions keep semantics crisp: the tap host must be directly
+    attached to the mirroring switch, and the mirrored traffic must be
+    destination-routable by hop-count shortest path (the common case;
+    compose with SourceRoutingApp for exotic paths).
+
+    Parameters
+    ----------
+    rules:
+        The mirror rules.
+    priority:
+        Must outrank the base forwarding rules being wrapped.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[MirrorRule] = (),
+        name: str = "mirror",
+        priority: int = 150,
+    ) -> None:
+        super().__init__(name)
+        self.rules: List[MirrorRule] = list(rules)
+        self.priority = priority
+        self._next_group: Dict[int, int] = {}
+        #: (dpid, group_id) pairs installed, for tests/inspection.
+        self.installed: List[Tuple[int, int]] = []
+
+    def start(self) -> None:
+        for rule in self.rules:
+            self._install(rule)
+
+    def _install(self, rule: MirrorRule) -> None:
+        switch = self.topology.switch(rule.switch_name)
+        tap = self.topology.host(rule.tap_host)
+        tap_port = None
+        for port in switch.connected_ports:
+            peer = port.peer
+            if peer is not None and peer.node is tap:
+                tap_port = port.number
+        if tap_port is None:
+            raise ControlPlaneError(
+                f"tap host {tap.name} is not attached to {switch.name}"
+            )
+        forward_port = self._forwarding_port(rule, switch, tap_port)
+        group_id = self._allocate_group(switch.dpid)
+        buckets = [
+            Bucket((Output(forward_port),)),
+            Bucket((Output(tap_port),)),
+        ]
+        self.add_group(switch.dpid, group_id, GroupType.ALL, buckets)
+        self.add_flow(
+            switch.dpid,
+            rule.match,
+            (ApplyActions((GroupAction(group_id),)),),
+            priority=self.priority,
+        )
+        self.installed.append((switch.dpid, group_id))
+
+    def _forwarding_port(self, rule: MirrorRule, switch, tap_port: int) -> int:
+        """Where would this traffic go if not mirrored?"""
+        destination = self._destination_host(rule.match)
+        path = self.topology.shortest_path(switch.name, destination.name)
+        if len(path) < 2:
+            raise ControlPlaneError(
+                f"no forwarding hop from {switch.name} to {destination.name}"
+            )
+        return self.topology.egress_port(switch.name, path[1].name).number
+
+    def _destination_host(self, match: Match) -> Host:
+        if match.ip_dst is not None:
+            for host in self.topology.hosts:
+                if host.ip == match.ip_dst:
+                    return host
+        if match.eth_dst is not None:
+            for host in self.topology.hosts:
+                if host.mac == match.eth_dst:
+                    return host
+        raise ControlPlaneError(
+            "mirror rules need an exact ip_dst or eth_dst to resolve the "
+            f"primary path (got {match.describe()})"
+        )
+
+    def _allocate_group(self, dpid: int) -> int:
+        # Offset well away from the load balancer's group id space.
+        self._next_group[dpid] = self._next_group.get(dpid, 0) + 1
+        return 0x4000 + self._next_group[dpid]
+
+    def add_rule(self, rule: MirrorRule) -> None:
+        """Start mirroring a new aggregate at runtime."""
+        self.rules.append(rule)
+        self._install(rule)

@@ -1,0 +1,102 @@
+"""Proactive shortest-path forwarding.
+
+Builds one destination-rooted shortest-path tree per host and installs a
+``dst -> next hop`` rule on every switch, matching on destination MAC or
+IPv4.  Recomputes affected trees on port-status changes, so traffic
+converges after link failures without per-flow controller involvement.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from ...errors import ControlPlaneError
+from ...net.node import Host, Node, Switch
+from ...openflow.action import ApplyActions, GotoTable, Output
+from ...openflow.match import Match
+from ...openflow.messages import PortStatus
+from ..app import ControllerApp
+
+
+class ShortestPathApp(ControllerApp):
+    """Install hop-count shortest-path forwarding for every host.
+
+    Parameters
+    ----------
+    match_on:
+        ``"eth_dst"`` (default) or ``"ip_dst"``.
+    priority:
+        Priority of installed rules.
+    next_table:
+        When set (by the policy composer), rules also jump to this table
+        — unused for plain forwarding, present for composition symmetry.
+    """
+
+    def __init__(
+        self,
+        name: str = "shortest-path",
+        match_on: str = "eth_dst",
+        priority: int = 10,
+    ) -> None:
+        super().__init__(name)
+        if match_on not in ("eth_dst", "ip_dst"):
+            raise ControlPlaneError(f"match_on must be eth_dst/ip_dst, got {match_on}")
+        self.match_on = match_on
+        self.priority = priority
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.install_all()
+
+    def install_all(self) -> None:
+        """(Re)install forwarding trees for every host."""
+        for host in self.topology.hosts:
+            self._install_tree(host)
+
+    def _match_for(self, host: Host) -> Match:
+        if self.match_on == "eth_dst":
+            return Match(eth_dst=host.mac)
+        return Match(ip_dst=host.ip)
+
+    def _install_tree(self, dst: Host) -> None:
+        """BFS from the destination; each switch forwards to its parent."""
+        parent = self._bfs_parents(dst)
+        match = self._match_for(dst)
+        for switch in self.topology.switches:
+            towards = parent.get(switch.name)
+            if towards is None:
+                continue  # unreachable from this switch
+            port = self.topology.egress_port(switch.name, towards)
+            self.add_flow(
+                switch.dpid,
+                match,
+                (ApplyActions((Output(port.number),)),),
+                priority=self.priority,
+            )
+
+    def _bfs_parents(self, dst: Host) -> Dict[str, str]:
+        """name -> neighbor name one hop closer to dst (over up links)."""
+        topo = self.topology
+        parent: Dict[str, str] = {}
+        seen = {dst.name}
+        frontier = deque([dst.name])
+        while frontier:
+            name = frontier.popleft()
+            for neighbor in topo.neighbors(name, up_only=True):
+                if neighbor.name in seen:
+                    continue
+                seen.add(neighbor.name)
+                parent[neighbor.name] = name
+                # Hosts other than dst never forward; don't traverse them.
+                if isinstance(neighbor, Switch):
+                    frontier.append(neighbor.name)
+        return parent
+
+    # ------------------------------------------------------------------
+    def on_port_status(self, message: PortStatus) -> None:
+        # Topology changed: wipe this app's rules and rebuild all trees.
+        # (Coarse but correct; incremental repair is an optimization.)
+        for dpid in self.channel.datapath_ids():
+            self.delete_flows(dpid, Match())
+        self.install_all()

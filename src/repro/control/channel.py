@@ -1,0 +1,383 @@
+"""The in-memory control channel.
+
+The poster: "there are no real OpenFlow connections between the control
+and the data plane" — to reduce state, control messages are plain method
+calls carrying the dataclasses of :mod:`repro.openflow.messages`.  The
+channel still preserves the *semantics* of a connection: southbound
+messages mutate switch pipelines (optionally after a configurable
+control latency), northbound events reach the controller, and the data-
+plane engines are notified whenever rules change so affected flows are
+re-routed.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Dict, List, Optional, Callable
+
+from ..errors import ControlPlaneError, OpenFlowError, UnknownDatapathError
+from ..net.topology import Topology
+from ..openflow.flowtable import FlowEntry
+from ..openflow.messages import (
+    BarrierReply,
+    BarrierRequest,
+    ErrorMsg,
+    FlowMod,
+    FlowModCommand,
+    FlowRemoved,
+    FlowRemovedReason,
+    FlowStatsReply,
+    FlowStatsRequest,
+    GroupMod,
+    GroupModCommand,
+    Message,
+    MeterMod,
+    MeterModCommand,
+    PacketIn,
+    PortStatsReply,
+    PortStatsRequest,
+    PortStatus,
+    TableStatsReply,
+    TableStatsRequest,
+)
+from ..openflow.switch import OpenFlowPipeline
+from ..sim.kernel import Simulator
+
+logger = logging.getLogger(__name__)
+
+
+class ControlChannel:
+    """Connects a controller to every switch pipeline in a topology.
+
+    Parameters
+    ----------
+    sim:
+        Shared kernel (used when ``latency_s`` > 0).
+    topology:
+        Switches are looked up by dpid at message time, so switches added
+        later are visible automatically.
+    controller:
+        Object with ``on_packet_in/on_port_status/on_flow_removed``
+        handlers; usually :class:`repro.control.controller.Controller`.
+    latency_s:
+        One-way control-plane delay.  Zero (default) makes the channel
+        synchronous: reactive rule setup completes within the data-plane
+        event that triggered it, which is the poster's abstraction.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        controller: Optional[object] = None,
+        latency_s: float = 0.0,
+    ) -> None:
+        if latency_s < 0:
+            raise ControlPlaneError(f"latency must be >= 0, got {latency_s}")
+        self.sim = sim
+        self.topology = topology
+        self.controller = controller
+        self.latency_s = latency_s
+        #: Data-plane engines notified on rule changes.
+        self.engines: List[object] = []
+        self.stats = {
+            "flow_mods": 0,
+            "group_mods": 0,
+            "meter_mods": 0,
+            "packet_ins": 0,
+            "packet_outs": 0,
+            "stats_requests": 0,
+            "errors": 0,
+        }
+        if controller is not None and hasattr(controller, "attach"):
+            controller.attach(self)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def connect_engine(self, engine: object) -> None:
+        """Register a data-plane engine for rules-changed notifications."""
+        if engine not in self.engines:
+            self.engines.append(engine)
+
+    def _pipeline(self, dpid: int) -> OpenFlowPipeline:
+        try:
+            switch = self.topology.switch_by_dpid(dpid)
+        except Exception:
+            raise UnknownDatapathError(f"no switch with dpid {dpid}") from None
+        if switch.pipeline is None:
+            raise UnknownDatapathError(f"switch {switch.name} has no pipeline")
+        return switch.pipeline
+
+    def datapath_ids(self) -> List[int]:
+        """All dpids currently on the channel."""
+        return sorted(s.dpid for s in self.topology.switches)
+
+    # ------------------------------------------------------------------
+    # Southbound: controller -> switches
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> Optional[Message]:
+        """Send a southbound message.
+
+        Synchronous channels apply immediately and return the reply (for
+        stats requests).  With latency, application is scheduled and None
+        is returned — stats repliers call the controller handler instead.
+        """
+        if self.latency_s == 0.0:
+            return self._apply(message)
+        self.sim.call_in(self.latency_s, lambda s: self._apply_async(message))
+        return None
+
+    def send_all(self, messages) -> List[Optional[Message]]:
+        """Send a batch of southbound messages in order."""
+        return [self.send(m) for m in messages]
+
+    def _apply_async(self, message: Message) -> None:
+        reply = self._apply(message)
+        # Replies travel back after another latency.
+        if reply is not None and self.controller is not None:
+            self.sim.call_in(
+                self.latency_s, lambda s: self.controller.on_reply(reply)
+            )
+
+    def _apply(self, message: Message) -> Optional[Message]:
+        try:
+            return self._dispatch(message)
+        except (OpenFlowError, UnknownDatapathError) as exc:
+            self.stats["errors"] += 1
+            error = ErrorMsg(
+                dpid=message.dpid,
+                error_type=type(exc).__name__,
+                detail=str(exc),
+                failed_xid=message.xid,
+            )
+            if self.controller is not None and hasattr(self.controller, "on_error"):
+                self.controller.on_error(error)
+            return error
+
+    def _dispatch(self, message: Message) -> Optional[Message]:
+        if isinstance(message, FlowMod):
+            self._apply_flow_mod(message)
+            return None
+        if isinstance(message, GroupMod):
+            self._apply_group_mod(message)
+            return None
+        if isinstance(message, MeterMod):
+            self._apply_meter_mod(message)
+            return None
+        if isinstance(message, PortStatsRequest):
+            return self._port_stats(message)
+        if isinstance(message, FlowStatsRequest):
+            return self._flow_stats(message)
+        if isinstance(message, TableStatsRequest):
+            return self._table_stats(message)
+        if isinstance(message, BarrierRequest):
+            return BarrierReply(dpid=message.dpid, xid=message.xid)
+        raise ControlPlaneError(f"unsupported southbound message {message!r}")
+
+    def _apply_flow_mod(self, mod: FlowMod) -> None:
+        self.stats["flow_mods"] += 1
+        pipeline = self._pipeline(mod.dpid)
+        table = pipeline.table(mod.table_id)
+        if mod.command is FlowModCommand.ADD:
+            entry = FlowEntry(
+                match=mod.match,
+                priority=mod.priority,
+                instructions=mod.instructions,
+                idle_timeout=mod.idle_timeout,
+                hard_timeout=mod.hard_timeout,
+                cookie=mod.cookie,
+                install_time=self.sim.now,
+            )
+            table.add(entry, check_overlap=mod.check_overlap)
+        elif mod.command in (FlowModCommand.MODIFY, FlowModCommand.MODIFY_STRICT):
+            table.modify(
+                mod.match,
+                mod.instructions,
+                priority=mod.priority,
+                strict=mod.command is FlowModCommand.MODIFY_STRICT,
+            )
+        else:
+            removed = table.delete(
+                mod.match,
+                priority=mod.priority,
+                strict=mod.command is FlowModCommand.DELETE_STRICT,
+                cookie=mod.cookie or None,
+            )
+            for entry in removed:
+                self.deliver_flow_removed_entry(
+                    mod.dpid,
+                    mod.table_id,
+                    entry,
+                    "delete",
+                    now=self.sim.now,
+                )
+        self._rules_changed(mod.dpid)
+
+    def _apply_group_mod(self, mod: GroupMod) -> None:
+        self.stats["group_mods"] += 1
+        pipeline = self._pipeline(mod.dpid)
+        if mod.command is GroupModCommand.ADD:
+            pipeline.groups.add(mod.group_id, mod.group_type, mod.buckets)
+        elif mod.command is GroupModCommand.MODIFY:
+            pipeline.groups.modify(mod.group_id, mod.group_type, mod.buckets)
+        else:
+            pipeline.groups.delete(mod.group_id)
+        self._rules_changed(mod.dpid)
+
+    def _apply_meter_mod(self, mod: MeterMod) -> None:
+        self.stats["meter_mods"] += 1
+        pipeline = self._pipeline(mod.dpid)
+        if mod.command is MeterModCommand.ADD:
+            pipeline.meters.add(mod.meter_id, mod.bands)
+        elif mod.command is MeterModCommand.MODIFY:
+            pipeline.meters.modify(mod.meter_id, mod.bands)
+        else:
+            pipeline.meters.delete(mod.meter_id)
+        self._rules_changed(mod.dpid)
+
+    def _rules_changed(self, dpid: int) -> None:
+        for engine in self.engines:
+            engine.notify_rules_changed(dpid)
+
+    # ------------------------------------------------------------------
+    # Stats repliers
+    # ------------------------------------------------------------------
+    def _sync_engines(self) -> None:
+        """Bring lazily-accrued data-plane counters up to now before a
+        statistics read (the poster's state export to the control plane)."""
+        for engine in self.engines:
+            sync = getattr(engine, "sync_statistics", None)
+            if sync is not None:
+                sync(self.sim.now)
+
+    def _port_stats(self, request: PortStatsRequest) -> PortStatsReply:
+        self.stats["stats_requests"] += 1
+        self._sync_engines()
+        switch = self.topology.switch_by_dpid(request.dpid)
+        stats = [
+            port.stats()
+            for number, port in sorted(switch.ports.items())
+            if request.port_no is None or number == request.port_no
+        ]
+        return PortStatsReply(dpid=request.dpid, xid=request.xid, stats=stats)
+
+    def _flow_stats(self, request: FlowStatsRequest) -> FlowStatsReply:
+        self.stats["stats_requests"] += 1
+        self._sync_engines()
+        pipeline = self._pipeline(request.dpid)
+        tables = (
+            [pipeline.table(request.table_id)]
+            if request.table_id is not None
+            else pipeline.tables
+        )
+        stats = []
+        for table in tables:
+            for entry in table:
+                if request.cookie is not None and entry.cookie != request.cookie:
+                    continue
+                if request.match is not None and not request.match.subsumes(
+                    entry.match
+                ):
+                    continue
+                stats.append(
+                    {
+                        "table_id": table.table_id,
+                        "match": entry.match,
+                        "priority": entry.priority,
+                        "cookie": entry.cookie,
+                        "packet_count": entry.packet_count,
+                        "byte_count": entry.byte_count,
+                        "duration_s": self.sim.now - entry.install_time,
+                    }
+                )
+        return FlowStatsReply(dpid=request.dpid, xid=request.xid, stats=stats)
+
+    def _table_stats(self, request: TableStatsRequest) -> TableStatsReply:
+        self.stats["stats_requests"] += 1
+        pipeline = self._pipeline(request.dpid)
+        return TableStatsReply(
+            dpid=request.dpid,
+            xid=request.xid,
+            stats=[t.stats() for t in pipeline.tables],
+        )
+
+    # ------------------------------------------------------------------
+    # Northbound: switches/engines -> controller
+    # ------------------------------------------------------------------
+    def deliver_packet_in(self, message: PacketIn) -> Optional[List[int]]:
+        """Deliver a packet-in.  Returns the controller's packet-out port
+        list when synchronous, else None (handled later)."""
+        self.stats["packet_ins"] += 1
+        if self.controller is None:
+            return None
+        if self.latency_s == 0.0:
+            ports = self.controller.on_packet_in(message)
+            if ports:
+                self.stats["packet_outs"] += 1
+            return ports
+        self.sim.call_in(
+            self.latency_s, lambda s: self._async_packet_in(message)
+        )
+        return None
+
+    def _async_packet_in(self, message: PacketIn) -> None:
+        """Handle a delayed packet-in; ship any packet-out back to the
+        data plane after another channel latency."""
+        ports = self.controller.on_packet_in(message)
+        if not ports:
+            return
+        self.stats["packet_outs"] += 1
+        self.sim.call_in(
+            self.latency_s,
+            lambda s: self._deliver_packet_out(message, list(ports)),
+        )
+
+    def _deliver_packet_out(self, message: PacketIn, ports: List[int]) -> None:
+        for engine in self.engines:
+            handler = getattr(engine, "apply_packet_out", None)
+            if handler is not None:
+                handler(message, ports)
+
+    def deliver_port_status(self, message: PortStatus) -> None:
+        if self.controller is None:
+            return
+        if self.latency_s == 0.0:
+            self.controller.on_port_status(message)
+        else:
+            self.sim.call_in(
+                self.latency_s, lambda s: self.controller.on_port_status(message)
+            )
+
+    def deliver_flow_removed_entry(
+        self,
+        dpid: int,
+        table_id: int,
+        entry: FlowEntry,
+        reason: str,
+        now: float,
+    ) -> None:
+        """Build and deliver a FlowRemoved from a removed entry."""
+        if self.controller is None:
+            return
+        message = FlowRemoved(
+            dpid=dpid,
+            table_id=table_id,
+            match=entry.match,
+            priority=entry.priority,
+            reason={
+                "idle": FlowRemovedReason.IDLE_TIMEOUT,
+                "hard": FlowRemovedReason.HARD_TIMEOUT,
+                "delete": FlowRemovedReason.DELETE,
+            }[reason],
+            cookie=entry.cookie,
+            duration_s=now - entry.install_time,
+            packet_count=entry.packet_count,
+            byte_count=entry.byte_count,
+        )
+        if self.latency_s == 0.0:
+            self.controller.on_flow_removed(message)
+        else:
+            self.sim.call_in(
+                self.latency_s, lambda s: self.controller.on_flow_removed(message)
+            )

@@ -1,0 +1,151 @@
+"""The lightweight modular controller.
+
+Hosts an ordered list of :class:`~repro.control.app.ControllerApp`
+instances and dispatches northbound events to them.  The controller is
+deliberately thin — policy logic lives in apps, the poster's "policy
+generator" lives in :mod:`repro.control.policy`, which configures apps
+from high-level specs.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Dict, List, Optional
+
+from ..errors import ControlPlaneError
+from ..openflow.messages import (
+    ErrorMsg,
+    FlowRemoved,
+    Message,
+    PacketIn,
+    PortStatus,
+)
+from .app import ControllerApp
+
+logger = logging.getLogger(__name__)
+
+
+class Controller:
+    """An SDN controller made of ordered apps.
+
+    Examples
+    --------
+    Attach apps, wire a channel, then ``start()`` to install proactive
+    state::
+
+        controller = Controller()
+        controller.add_app(ShortestPathApp())
+        channel = ControlChannel(sim, topo, controller=controller)
+        controller.start()
+    """
+
+    def __init__(self, name: str = "controller") -> None:
+        self.name = name
+        self.apps: List[ControllerApp] = []
+        self.channel = None
+        self._started = False
+        self.stats = {
+            "packet_ins": 0,
+            "port_status": 0,
+            "flow_removed": 0,
+            "errors": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, channel) -> None:
+        """Called by the channel constructor."""
+        self.channel = channel
+
+    def add_app(self, app: ControllerApp) -> ControllerApp:
+        """Register an app; order defines packet-in precedence."""
+        if any(existing.name == app.name for existing in self.apps):
+            raise ControlPlaneError(f"duplicate app name {app.name!r}")
+        app.controller = self
+        app.cookie = ControllerApp._COOKIE_BASE + len(self.apps) + 1
+        self.apps.append(app)
+        if self._started and self.channel is not None:
+            app.start()
+        return app
+
+    def app(self, name: str) -> ControllerApp:
+        for app in self.apps:
+            if app.name == name:
+                return app
+        raise ControlPlaneError(f"no app named {name!r}")
+
+    def remove_app(self, name: str) -> ControllerApp:
+        """Stop an app and remove its rules."""
+        app = self.app(name)
+        app.stop()
+        self.apps.remove(app)
+        return app
+
+    def start(self) -> None:
+        """Install every app's proactive state."""
+        if self.channel is None:
+            raise ControlPlaneError("controller has no channel attached")
+        self._started = True
+        for app in self.apps:
+            app.start()
+
+    # ------------------------------------------------------------------
+    # Northbound dispatch
+    # ------------------------------------------------------------------
+    def on_packet_in(self, message: PacketIn) -> Optional[List[int]]:
+        """First app returning a packet-out decision claims the event."""
+        self.stats["packet_ins"] += 1
+        for app in self.apps:
+            if not app.enabled:
+                continue
+            ports = app.on_packet_in(message)
+            if ports is not None:
+                return ports
+        return None
+
+    def on_port_status(self, message: PortStatus) -> None:
+        self.stats["port_status"] += 1
+        for app in self.apps:
+            if app.enabled:
+                app.on_port_status(message)
+
+    def on_flow_removed(self, message: FlowRemoved) -> None:
+        self.stats["flow_removed"] += 1
+        for app in self.apps:
+            if app.enabled:
+                app.on_flow_removed(message)
+
+    def on_monitor_sample(self, sample: dict) -> None:
+        for app in self.apps:
+            if app.enabled:
+                app.on_monitor_sample(sample)
+
+    def on_error(self, message: ErrorMsg) -> None:
+        self.stats["errors"] += 1
+        logger.warning(
+            "%s: switch %s rejected xid=%s: %s",
+            self.name,
+            message.dpid,
+            message.failed_xid,
+            message.detail,
+        )
+
+    def on_reply(self, message: Message) -> None:
+        """Asynchronous stats replies land here (latency > 0 channels)."""
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def rule_count(self) -> int:
+        """Total rules currently installed across all switches."""
+        if self.channel is None:
+            return 0
+        total = 0
+        for switch in self.channel.topology.switches:
+            if switch.pipeline is not None:
+                total += switch.pipeline.total_entries
+        return total
+
+    def __repr__(self) -> str:
+        return f"<Controller {self.name!r} apps={[a.name for a in self.apps]}>"

@@ -1,0 +1,136 @@
+"""Monitoring: periodic export of traffic statistics to the control plane.
+
+The poster: statistics are "updated after every event and exported to a
+control plane module", with primitives covering "typical network
+measurements such as link bandwidth and SDN-enabled ones (i.e., OpenFlow
+counters)".  :class:`NetworkMonitor` polls port counters on a fixed
+interval, derives per-egress-link rates and utilizations from counter
+deltas, and hands each sample to the controller's apps (and any extra
+callbacks) — the input reactive policies act on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..openflow.messages import PortStatsRequest
+from .channel import ControlChannel
+
+#: A sample key: (switch name, port number) — the egress direction.
+PortKey = Tuple[str, int]
+
+
+class NetworkMonitor:
+    """Periodic port-counter polling and utilization estimation.
+
+    Parameters
+    ----------
+    channel:
+        The control channel (stats are read through its port-stats
+        replier; per the poster's abstraction the read itself is the
+        simulator's state export, so it is synchronous even when the
+        message channel has latency).
+    interval:
+        Polling period in seconds.
+    threshold:
+        Egress utilization above which a link appears in the sample's
+        ``congested`` list.
+    keep_history:
+        Retain every sample in :attr:`samples` (disable for very long
+        runs to bound memory).
+    """
+
+    def __init__(
+        self,
+        channel: ControlChannel,
+        interval: float = 1.0,
+        threshold: float = 0.9,
+        keep_history: bool = True,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self.channel = channel
+        self.interval = interval
+        self.threshold = threshold
+        self.keep_history = keep_history
+        self._last_counters: Dict[PortKey, Tuple[int, int]] = {}
+        self._last_time: Optional[float] = None
+        self.samples: List[dict] = []
+        self.callbacks: List[Callable[[dict], None]] = []
+        self._started = False
+
+    def start(self, first_at: Optional[float] = None) -> None:
+        """Begin polling on the channel's kernel."""
+        if self._started:
+            return
+        self._started = True
+        self.channel.sim.every(self.interval, self._tick, start=first_at)
+
+    def _tick(self, sim, t: float) -> None:
+        sample = self.sample_now(t)
+        if self.keep_history:
+            self.samples.append(sample)
+        controller = self.channel.controller
+        if controller is not None and hasattr(controller, "on_monitor_sample"):
+            controller.on_monitor_sample(sample)
+        for callback in self.callbacks:
+            callback(sample)
+
+    def sample_now(self, t: float) -> dict:
+        """Take one sample: per-egress-port rate and utilization."""
+        tx_bps: Dict[PortKey, float] = {}
+        rx_bps: Dict[PortKey, float] = {}
+        utilization: Dict[PortKey, float] = {}
+        congested: List[PortKey] = []
+        dt = None if self._last_time is None else t - self._last_time
+        topology = self.channel.topology
+        for switch in topology.switches:
+            reply = self.channel._port_stats(
+                PortStatsRequest(dpid=switch.dpid)
+            )
+            for stat in reply.stats:
+                port_no = stat["port_no"]
+                key = (switch.name, port_no)
+                counters = (stat["tx_bytes"], stat["rx_bytes"])
+                last = self._last_counters.get(key)
+                self._last_counters[key] = counters
+                if last is None or not dt or dt <= 0:
+                    continue
+                tx_rate = (counters[0] - last[0]) * 8.0 / dt
+                rx_rate = (counters[1] - last[1]) * 8.0 / dt
+                tx_bps[key] = tx_rate
+                rx_bps[key] = rx_rate
+                port = switch.port(port_no)
+                if port.link is not None and port.link.capacity_bps > 0:
+                    util = tx_rate / port.link.capacity_bps
+                    utilization[key] = util
+                    if util >= self.threshold:
+                        congested.append(key)
+        self._last_time = t
+        return {
+            "time": t,
+            "tx_bps": tx_bps,
+            "rx_bps": rx_bps,
+            "utilization": utilization,
+            "congested": congested,
+        }
+
+    # ------------------------------------------------------------------
+    # Query helpers over the history
+    # ------------------------------------------------------------------
+    def utilization_series(self, key: PortKey) -> List[Tuple[float, float]]:
+        """(time, utilization) points for one egress port."""
+        return [
+            (s["time"], s["utilization"][key])
+            for s in self.samples
+            if key in s["utilization"]
+        ]
+
+    def max_utilization(self) -> Dict[PortKey, float]:
+        """Per-port maximum utilization across the run."""
+        out: Dict[PortKey, float] = {}
+        for sample in self.samples:
+            for key, value in sample["utilization"].items():
+                if value > out.get(key, 0.0):
+                    out[key] = value
+        return out

@@ -1,0 +1,249 @@
+"""The policy generator: compile high-level specs into controller apps.
+
+This is the poster's "Policy Generator" block — "a lightweight and
+modular controller that translates high level policies into OpenFlow
+control messages".  Given a policy configuration (typed specs or the
+Figure-2 style dict), it validates the composition, plans the table
+layout, and returns a ready :class:`~repro.control.controller.Controller`
+whose apps emit the actual flow-mods when started.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ...errors import PolicyValidationError
+from ...net.address import AddressError, IPv4Address, IPv4Network, MacAddress
+from ...net.topology import Topology
+from ...openflow.match import Match
+from ..apps import (
+    AppPeeringApp,
+    BlackholeApp,
+    EcmpLoadBalancerApp,
+    L2LearningApp,
+    PeeringRule,
+    RateLimit,
+    RateLimiterApp,
+    ReactiveLoadBalancerApp,
+    ShortestPathApp,
+    SourceRoute,
+    SourceRoutingApp,
+)
+from ..controller import Controller
+from .composition import CompositionPlan, plan_composition
+from .spec import (
+    AppPeeringSpec,
+    BlackholingSpec,
+    ForwardingSpec,
+    LoadBalancingSpec,
+    PolicySpec,
+    RateLimitingSpec,
+    SourceRoutingSpec,
+    parse_policy_config,
+)
+from .validation import Conflict, validate_or_raise
+
+
+@dataclass
+class CompiledPolicy:
+    """The compiler's output: a controller, its plan, and any warnings."""
+
+    controller: Controller
+    plan: CompositionPlan
+    warnings: List[Conflict] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def num_tables(self) -> int:
+        """Tables each switch pipeline must provide."""
+        return self.plan.num_tables
+
+
+class PolicyGenerator:
+    """Compile policy specs for a given topology.
+
+    Parameters
+    ----------
+    topology:
+        Used to resolve host names, attachment switches, and paths.
+    validate:
+        Run spec + composition validation (on by default).
+
+    Examples
+    --------
+    generator = PolicyGenerator(topology)
+    compiled = generator.compile({
+        "forwarding": "shortest-path",
+        "rate_limiting": [{"src": "h2", "dst": "h4", "rate": "500 Mbps"}],
+    })
+    channel = ControlChannel(sim, topology, controller=compiled.controller)
+    compiled.controller.start()
+    """
+
+    def __init__(self, topology: Topology, validate: bool = True) -> None:
+        self.topology = topology
+        self.validate = validate
+
+    def compile(
+        self, policies: Union[dict, Sequence[PolicySpec]]
+    ) -> CompiledPolicy:
+        """Compile a policy configuration into a controller."""
+        if isinstance(policies, dict):
+            specs = parse_policy_config(policies)
+        else:
+            specs = list(policies)
+        notes: List[str] = []
+        # Load balancing is itself a forwarding policy; an explicit
+        # shortest-path base would double-install the same matches.
+        has_lb = any(isinstance(s, LoadBalancingSpec) for s in specs)
+        if has_lb:
+            dropped = [
+                s
+                for s in specs
+                if isinstance(s, ForwardingSpec) and s.mode == "shortest-path"
+            ]
+            if dropped:
+                specs = [s for s in specs if s not in dropped]
+                notes.append(
+                    "shortest-path forwarding subsumed by load balancing"
+                )
+        warnings: List[Conflict] = []
+        if self.validate:
+            warnings = validate_or_raise(specs, self.topology)
+        plan = plan_composition(specs)
+        controller = Controller(name="policy-generator")
+        self._build_apps(specs, plan, controller, notes)
+        return CompiledPolicy(
+            controller=controller, plan=plan, warnings=warnings, notes=notes
+        )
+
+    # ------------------------------------------------------------------
+    def _build_apps(
+        self,
+        specs: Sequence[PolicySpec],
+        plan: CompositionPlan,
+        controller: Controller,
+        notes: List[str],
+    ) -> None:
+        # Collect multi-instance specs into single apps.
+        peering = [s for s in specs if isinstance(s, AppPeeringSpec)]
+        limits = [s for s in specs if isinstance(s, RateLimitingSpec)]
+        holes = [s for s in specs if isinstance(s, BlackholingSpec)]
+        routes = [s for s in specs if isinstance(s, SourceRoutingSpec)]
+        forwarding = [s for s in specs if isinstance(s, ForwardingSpec)]
+        balancing = [s for s in specs if isinstance(s, LoadBalancingSpec)]
+
+        # Order matters for packet-in precedence: specific overrides
+        # first, base forwarding last.
+        if holes:
+            app = BlackholeApp(
+                targets=[self._resolve_target(s.target) for s in holes],
+                direction=holes[0].direction,
+                scope=holes[0].scope,
+                priority=plan.priority_for("blackholing"),
+            )
+            app.table_id = plan.table_for("blackholing")
+            controller.add_app(app)
+        if limits:
+            app = RateLimiterApp(
+                limits=[self._compile_limit(s) for s in limits],
+                priority=50,
+            )
+            app.table_id = plan.table_for("rate_limiting")
+            app.next_table = plan.forwarding_table
+            controller.add_app(app)
+        if peering:
+            app = AppPeeringApp(
+                rules=[
+                    PeeringRule(
+                        src_host=s.src, dst_host=s.dst, app=s.app, path=s.path
+                    )
+                    for s in peering
+                ],
+                priority=plan.priority_for("application_peering"),
+            )
+            app.table_id = plan.table_for("application_peering")
+            controller.add_app(app)
+        if routes:
+            app = SourceRoutingApp(
+                routes=[
+                    SourceRoute(src_host=s.src, dst_host=s.dst, path=s.path)
+                    for s in routes
+                ],
+                priority=plan.priority_for("source_routing"),
+            )
+            app.table_id = plan.table_for("source_routing")
+            controller.add_app(app)
+        if balancing:
+            spec = balancing[0]
+            if spec.mode == "reactive":
+                lb_app: EcmpLoadBalancerApp = ReactiveLoadBalancerApp(
+                    match_on=spec.match_on,
+                    priority=plan.priority_for("load_balancing"),
+                    threshold=spec.threshold,
+                )
+            else:
+                lb_app = EcmpLoadBalancerApp(
+                    match_on=spec.match_on,
+                    priority=plan.priority_for("load_balancing"),
+                )
+            lb_app.table_id = plan.table_for("load_balancing")
+            controller.add_app(lb_app)
+        elif forwarding:
+            spec = forwarding[0]
+            if spec.mode == "learning":
+                fwd_app: object = L2LearningApp(
+                    priority=plan.priority_for("forwarding")
+                )
+            else:
+                fwd_app = ShortestPathApp(
+                    match_on=spec.match_on,
+                    priority=plan.priority_for("forwarding"),
+                )
+            fwd_app.table_id = plan.table_for("forwarding")
+            controller.add_app(fwd_app)
+        else:
+            # No forwarding policy at all: default to shortest-path so
+            # the fabric actually forwards (noted, not silent).
+            fwd_app = ShortestPathApp(priority=plan.priority_for("forwarding"))
+            fwd_app.table_id = plan.forwarding_table
+            controller.add_app(fwd_app)
+            notes.append("no forwarding policy given; defaulted to shortest-path")
+
+    def _resolve_target(self, target: str):
+        if target in self.topology:
+            return self.topology.host(target).ip
+        for parser in (IPv4Network, IPv4Address, MacAddress):
+            try:
+                return parser(target)
+            except AddressError:
+                continue
+        raise PolicyValidationError(f"cannot resolve target {target!r}")
+
+    def _compile_limit(self, spec: RateLimitingSpec) -> RateLimit:
+        fields: Dict[str, object] = {}
+        scope: Optional[List[str]] = list(spec.scope) if spec.scope else None
+        if spec.src:
+            src = self.topology.host(spec.src)
+            fields["ip_src"] = src.ip
+            if scope is None:
+                # Meter at the source's attachment switch: the earliest
+                # point the aggregate can be conditioned.
+                peer = src.uplink_port.peer
+                if peer is not None:
+                    scope = [peer.node.name]
+        if spec.dst:
+            fields["ip_dst"] = self.topology.host(spec.dst).ip
+        return RateLimit(
+            match=Match(**fields), rate_bps=spec.rate_bps, scope=scope
+        )
+
+
+def compile_policies(
+    topology: Topology,
+    policies: Union[dict, Sequence[PolicySpec]],
+    validate: bool = True,
+) -> CompiledPolicy:
+    """Module-level convenience wrapper around :class:`PolicyGenerator`."""
+    return PolicyGenerator(topology, validate=validate).compile(policies)

@@ -1,0 +1,121 @@
+"""Policy composition: staging policies across tables and priorities.
+
+Independent policies must coexist without interference (the poster cites
+Monsanto et al.'s composition work).  Horse composes with two
+mechanisms:
+
+* **Stages** (sequential composition): traffic-conditioning policies
+  (rate limiting) occupy an early table and ``GotoTable`` into the
+  forwarding stage, so metering never hides a forwarding decision.
+* **Priority bands** (override composition): within the forwarding
+  stage, more specific policies outrank the base — blackholing above
+  application peering above source routing above base forwarding.
+
+:class:`CompositionPlan` computes the table layout and priority for each
+policy kind; the compiler applies it to app instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple, Type
+
+from .spec import (
+    AppPeeringSpec,
+    BlackholingSpec,
+    ForwardingSpec,
+    LoadBalancingSpec,
+    PolicySpec,
+    RateLimitingSpec,
+    SourceRoutingSpec,
+)
+
+#: Priority bands within the forwarding stage, highest first.  Gaps let
+#: users slot custom apps between bands.
+PRIORITY_BANDS: Dict[str, int] = {
+    "blackholing": 400,
+    "application_peering": 300,
+    "source_routing": 200,
+    "load_balancing": 100,
+    "forwarding": 100,
+}
+
+#: Spec kinds that belong to the conditioning (metering) stage.
+CONDITIONING_KINDS = ("rate_limiting",)
+
+
+@dataclass
+class Stage:
+    """One pipeline table worth of policies."""
+
+    table_id: int
+    kinds: Tuple[str, ...]
+
+
+@dataclass
+class CompositionPlan:
+    """The table layout + priority assignment for a policy set.
+
+    Attributes
+    ----------
+    stages:
+        Ordered stages; the last stage is the forwarding stage.
+    num_tables:
+        Tables the switch pipelines must provide.
+    """
+
+    stages: List[Stage] = field(default_factory=list)
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.stages)
+
+    @property
+    def forwarding_table(self) -> int:
+        return self.stages[-1].table_id
+
+    def table_for(self, kind: str) -> int:
+        for stage in self.stages:
+            if kind in stage.kinds:
+                return stage.table_id
+        raise KeyError(f"kind {kind!r} not in composition plan")
+
+    def priority_for(self, kind: str) -> int:
+        return PRIORITY_BANDS.get(kind, 100)
+
+
+def plan_composition(specs: Sequence[PolicySpec]) -> CompositionPlan:
+    """Compute the stage layout for a policy set.
+
+    Rate limiting (if present) gets table 0; everything else shares the
+    forwarding table.  With no conditioning policies the plan is a
+    single table, matching OpenFlow switches with minimal pipelines.
+
+    Examples
+    --------
+    >>> plan = plan_composition([ForwardingSpec(), RateLimitingSpec(rate_bps=1e6)])
+    >>> plan.num_tables
+    2
+    >>> plan.table_for("rate_limiting"), plan.table_for("forwarding")
+    (0, 1)
+    """
+    kinds = {s.kind for s in specs}
+    conditioning = tuple(k for k in CONDITIONING_KINDS if k in kinds)
+    forwarding_kinds = tuple(
+        k
+        for k in (
+            "blackholing",
+            "application_peering",
+            "source_routing",
+            "load_balancing",
+            "forwarding",
+        )
+        if k in kinds
+    ) or ("forwarding",)
+    plan = CompositionPlan()
+    table_id = 0
+    if conditioning:
+        plan.stages.append(Stage(table_id=table_id, kinds=conditioning))
+        table_id += 1
+    plan.stages.append(Stage(table_id=table_id, kinds=forwarding_kinds))
+    return plan

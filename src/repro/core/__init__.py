@@ -1,0 +1,7 @@
+"""Core: the Horse simulator façade, configuration, and results."""
+
+from .config import HorseConfig
+from .results import RunResult
+from .simulator import Horse
+
+__all__ = ["Horse", "HorseConfig", "RunResult"]

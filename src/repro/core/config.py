@@ -1,0 +1,65 @@
+"""Configuration for the Horse simulator façade."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ExperimentError
+
+
+@dataclass
+class HorseConfig:
+    """Top-level knobs for a :class:`~repro.core.simulator.Horse` run.
+
+    Attributes
+    ----------
+    engine:
+        ``"flow"`` (Horse's flow-level abstraction, default) or
+        ``"packet"`` (the per-packet baseline).
+    seed:
+        Master seed for every stochastic component.
+    control_latency_s:
+        One-way control channel delay; 0 means the poster's synchronous
+        abstraction.
+    monitor_interval_s:
+        Port-stats polling period; None disables monitoring.
+    link_sample_interval_s:
+        Utilization sampling period for the stats collector; None
+        disables sampling.
+    incremental_solver:
+        Flow engine only: use the incremental max-min solver (E6).
+    mtu_bytes / queue_capacity_packets:
+        Packet engine parameters.
+    pipeline_tables:
+        Minimum tables per switch pipeline; raised automatically to what
+        the compiled policy composition needs.
+    entry_expiry_interval_s:
+        Flow engine: period of the rule-timeout sweep; None disables it
+        (enable when policies use idle/hard timeouts).
+    """
+
+    engine: str = "flow"
+    seed: int = 0
+    control_latency_s: float = 0.0
+    monitor_interval_s: Optional[float] = None
+    monitor_threshold: float = 0.9
+    link_sample_interval_s: Optional[float] = None
+    incremental_solver: bool = False
+    mtu_bytes: int = 1500
+    queue_capacity_packets: int = 100
+    pipeline_tables: int = 1
+    table_size: Optional[int] = None
+    entry_expiry_interval_s: Optional[float] = None
+    mean_packet_bytes: int = 1000
+    max_hops: int = 64
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("flow", "packet"):
+            raise ExperimentError(
+                f"engine must be 'flow' or 'packet', got {self.engine!r}"
+            )
+        if self.control_latency_s < 0:
+            raise ExperimentError("control latency must be >= 0")
+        if self.pipeline_tables < 1:
+            raise ExperimentError("need >= 1 pipeline table")

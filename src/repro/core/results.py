@@ -1,0 +1,115 @@
+"""Run results: what a Horse run reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..flowsim.flow import Flow, FlowState
+from ..stats.metrics import jain_fairness, summarize
+
+
+@dataclass
+class RunResult:
+    """The outcome of one :meth:`Horse.run`.
+
+    Attributes
+    ----------
+    wall_time_s:
+        Real (host) seconds the run took — the poster's "simulation
+        time" metric.
+    sim_time_s:
+        Final simulated clock value.
+    events:
+        Kernel events fired.
+    engine_summary:
+        The engine's aggregate counters.
+    flows:
+        Every flow submitted (with final state).
+    rule_count:
+        Flow entries installed across all switches at the end.
+    link_max_utilization / link_mean_utilization:
+        Per (node, port) values when link sampling was enabled.
+    """
+
+    wall_time_s: float
+    sim_time_s: float
+    events: int
+    engine_summary: dict
+    flows: List[Flow] = field(default_factory=list)
+    rule_count: int = 0
+    link_max_utilization: Dict[Tuple[str, int], float] = field(default_factory=dict)
+    link_mean_utilization: Dict[Tuple[str, int], float] = field(default_factory=dict)
+    monitor_samples: List[dict] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def completed_flows(self) -> List[Flow]:
+        return [f for f in self.flows if f.state is FlowState.COMPLETED]
+
+    @property
+    def delivered_fraction(self) -> float:
+        """Fraction of flows whose traffic reached the destination.
+
+        Flow-engine flows carry a route (authoritative); packet-engine
+        flows are judged by delivered bytes.
+        """
+        if not self.flows:
+            return 0.0
+        delivered = 0
+        for flow in self.flows:
+            if flow.route is not None:
+                delivered += bool(flow.route.delivered)
+            else:
+                delivered += flow.bytes_delivered > 0
+        return delivered / len(self.flows)
+
+    @property
+    def events_per_second(self) -> float:
+        return self.events / self.wall_time_s if self.wall_time_s > 0 else 0.0
+
+    def fct_summary(self) -> dict:
+        """Flow-completion-time distribution of completed flows."""
+        return summarize(
+            [
+                f.flow_completion_time
+                for f in self.completed_flows
+                if f.flow_completion_time
+            ]
+        )
+
+    def throughput_by_flow(self) -> Dict[int, float]:
+        """Goodput (bps) per completed flow."""
+        out: Dict[int, float] = {}
+        for flow in self.completed_flows:
+            fct = flow.flow_completion_time
+            if fct and fct > 0:
+                out[flow.flow_id] = flow.bytes_delivered * 8.0 / fct
+        return out
+
+    def fairness(self) -> float:
+        return jain_fairness(list(self.throughput_by_flow().values()))
+
+    def total_delivered_bytes(self) -> float:
+        return sum(f.bytes_delivered for f in self.flows)
+
+    def goodput_bps(self) -> float:
+        """Aggregate delivered bits per simulated second."""
+        if self.sim_time_s <= 0:
+            return 0.0
+        return self.total_delivered_bytes() * 8.0 / self.sim_time_s
+
+    def row(self) -> dict:
+        """A flat dict suitable for benchmark tables."""
+        return {
+            "wall_time_s": round(self.wall_time_s, 4),
+            "sim_time_s": round(self.sim_time_s, 3),
+            "events": self.events,
+            "events_per_s": round(self.events_per_second),
+            "flows": len(self.flows),
+            "completed": len(self.completed_flows),
+            "delivered_frac": round(self.delivered_fraction, 4),
+            "rules": self.rule_count,
+            "goodput_gbps": round(self.goodput_bps() / 1e9, 3),
+        }

@@ -1,0 +1,218 @@
+"""The Horse façade: topology + policies + traffic → results.
+
+Wires together everything the poster's Figure 2 shows: the data plane
+(events, topology, statistics), the control plane (policy generator,
+instructions, monitoring), and the in-memory channel between them.
+
+Examples
+--------
+horse = Horse(topology, policies={"forwarding": "shortest-path"})
+horse.submit_flows(flows)
+result = horse.run()
+result.row()
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Iterable, List, Optional, Sequence, Union
+
+from ..control.channel import ControlChannel
+from ..control.controller import Controller
+from ..control.monitor import NetworkMonitor
+from ..control.policy.compiler import CompiledPolicy, compile_policies
+from ..control.policy.spec import PolicySpec
+from ..errors import ExperimentError
+from ..flowsim.engine import FlowLevelEngine
+from ..flowsim.flow import Flow
+from ..net.topology import Topology
+from ..openflow.switch import attach_pipeline
+from ..pktsim.engine import PacketLevelEngine
+from ..sim.kernel import Simulator
+from ..sim.rng import RngRegistry
+from ..stats.collector import StatsCollector
+from ..traffic.flowgen import FlowGenConfig, FlowGenerator
+from ..traffic.matrix import TrafficMatrix
+from .config import HorseConfig
+from .results import RunResult
+
+
+class Horse:
+    """One simulation instance.
+
+    Parameters
+    ----------
+    topology:
+        The network to simulate.  Pipelines are attached automatically.
+    policies:
+        A policy configuration (Figure-2 style dict, a list of
+        :class:`PolicySpec`, or an already-compiled
+        :class:`CompiledPolicy`); None runs with a bare controller and
+        whatever rules the caller installs directly.
+    config:
+        Engine selection and knobs (see :class:`HorseConfig`).
+    controller:
+        Alternative to ``policies``: bring your own controller with
+        custom apps.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        policies: Union[dict, Sequence[PolicySpec], CompiledPolicy, None] = None,
+        config: Optional[HorseConfig] = None,
+        controller: Optional[Controller] = None,
+    ) -> None:
+        self.topology = topology
+        self.config = config or HorseConfig()
+        self.rngs = RngRegistry(self.config.seed)
+        self.sim = Simulator()
+        self.compiled: Optional[CompiledPolicy] = None
+
+        if policies is not None and controller is not None:
+            raise ExperimentError("pass either policies or a controller, not both")
+        if isinstance(policies, CompiledPolicy):
+            self.compiled = policies
+            self.controller = policies.controller
+        elif policies is not None:
+            self.compiled = compile_policies(topology, policies)
+            self.controller = self.compiled.controller
+        elif controller is not None:
+            self.controller = controller
+        else:
+            self.controller = Controller()
+
+        num_tables = max(
+            self.config.pipeline_tables,
+            self.compiled.num_tables if self.compiled else 1,
+        )
+        for switch in topology.switches:
+            attach_pipeline(
+                switch, num_tables=num_tables, table_size=self.config.table_size
+            )
+
+        self.channel = ControlChannel(
+            self.sim,
+            topology,
+            controller=self.controller,
+            latency_s=self.config.control_latency_s,
+        )
+
+        if self.config.engine == "flow":
+            self.engine: Union[FlowLevelEngine, PacketLevelEngine] = FlowLevelEngine(
+                self.sim,
+                topology,
+                control=self.channel,
+                incremental=self.config.incremental_solver,
+                mean_packet_bytes=self.config.mean_packet_bytes,
+                max_hops=self.config.max_hops,
+            )
+            self.channel.connect_engine(self.engine)
+            if self.config.entry_expiry_interval_s:
+                self.engine.enable_entry_expiry(self.config.entry_expiry_interval_s)
+        else:
+            self.engine = PacketLevelEngine(
+                self.sim,
+                topology,
+                control=self.channel,
+                mtu_bytes=self.config.mtu_bytes,
+                queue_capacity_packets=self.config.queue_capacity_packets,
+                max_hops=self.config.max_hops,
+            )
+
+        self.monitor: Optional[NetworkMonitor] = None
+        if self.config.monitor_interval_s:
+            self.monitor = NetworkMonitor(
+                self.channel,
+                interval=self.config.monitor_interval_s,
+                threshold=self.config.monitor_threshold,
+            )
+            self.monitor.start()
+
+        self.collector = StatsCollector(topology)
+        if isinstance(self.engine, FlowLevelEngine):
+            self.collector.attach_flow_engine(self.engine)
+        if self.config.link_sample_interval_s:
+            self.collector.enable_link_sampling(
+                self.sim, self.config.link_sample_interval_s
+            )
+
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Workload
+    # ------------------------------------------------------------------
+    def start_control_plane(self) -> None:
+        """Install proactive policies (idempotent; run() calls this)."""
+        if not self._started:
+            self.controller.start()
+            self._started = True
+
+    def submit_flows(self, flows: Iterable[Flow]) -> List[Flow]:
+        """Schedule pre-built flows."""
+        return self.engine.submit_all(flows)
+
+    def submit_matrix(
+        self,
+        matrix: TrafficMatrix,
+        horizon_s: float,
+        flow_config: Optional[FlowGenConfig] = None,
+        constant_rate: bool = False,
+    ) -> List[Flow]:
+        """Generate and schedule flows realizing a traffic matrix."""
+        generator = FlowGenerator(
+            self.topology,
+            self.rngs.stream("traffic"),
+            config=flow_config,
+        )
+        if constant_rate:
+            flows = generator.constant_rate_flows(matrix, duration_s=horizon_s)
+        else:
+            flows = generator.from_matrix(matrix, horizon_s=horizon_s)
+        return self.submit_flows(flows)
+
+    def fail_link(self, at: float, a: str, b: str) -> None:
+        """Schedule a link-failure input event (flow engine only)."""
+        if not isinstance(self.engine, FlowLevelEngine):
+            raise ExperimentError("link failure injection needs the flow engine")
+        self.engine.fail_link_at(at, a, b)
+
+    def restore_link(self, at: float, a: str, b: str) -> None:
+        if not isinstance(self.engine, FlowLevelEngine):
+            raise ExperimentError("link recovery injection needs the flow engine")
+        self.engine.restore_link_at(at, a, b)
+
+    def sync_statistics(self) -> None:
+        """Bring all lazily-accrued counters up to the current instant.
+
+        Call before reading port/entry counters directly mid-run (the
+        monitor and the channel's stats repliers do this automatically).
+        """
+        sync = getattr(self.engine, "sync_statistics", None)
+        if sync is not None:
+            sync(self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> RunResult:
+        """Install policies, run to completion (or ``until``), report."""
+        self.start_control_plane()
+        wall_start = _time.perf_counter()
+        self.sim.run(until=until)
+        if isinstance(self.engine, FlowLevelEngine):
+            self.engine.finish()
+        wall = _time.perf_counter() - wall_start
+        result = RunResult(
+            wall_time_s=wall,
+            sim_time_s=self.sim.now,
+            events=self.sim.fired_count,
+            engine_summary=self.engine.summary(),
+            flows=list(self.engine.flows.values()),
+            rule_count=self.controller.rule_count(),
+            link_max_utilization=self.collector.max_link_utilization(),
+            link_mean_utilization=self.collector.mean_link_utilization(),
+            monitor_samples=list(self.monitor.samples) if self.monitor else [],
+            notes=list(self.compiled.notes) if self.compiled else [],
+        )
+        return result

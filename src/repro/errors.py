@@ -1,0 +1,85 @@
+"""Exception hierarchy for the Horse simulator.
+
+Every error raised by this package derives from :class:`HorseError`, so
+callers can catch one type to handle any simulator failure.  Subclasses are
+grouped by subsystem: simulation kernel, network model, OpenFlow pipeline,
+control plane, policy handling, and traffic generation.
+"""
+
+from __future__ import annotations
+
+
+class HorseError(Exception):
+    """Base class for all errors raised by the Horse simulator."""
+
+
+class SimulationError(HorseError):
+    """Errors in the discrete-event kernel (scheduling, clock misuse)."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or on a stopped simulator."""
+
+
+class TopologyError(HorseError):
+    """Errors in topology construction or lookup."""
+
+
+class NodeNotFoundError(TopologyError):
+    """A node name or id was not present in the topology."""
+
+
+class LinkError(TopologyError):
+    """Invalid link construction or a reference to a missing link."""
+
+
+class PortError(TopologyError):
+    """Invalid port number or a port that is already connected."""
+
+
+class AddressError(HorseError):
+    """A MAC or IPv4 address string/integer could not be parsed."""
+
+
+class OpenFlowError(HorseError):
+    """Errors in the OpenFlow abstraction (tables, groups, meters)."""
+
+
+class TableFullError(OpenFlowError):
+    """A flow table reached its configured capacity."""
+
+
+class GroupError(OpenFlowError):
+    """Invalid group type, empty bucket list, or unknown group id."""
+
+
+class MeterError(OpenFlowError):
+    """Invalid meter configuration or unknown meter id."""
+
+
+class ControlPlaneError(HorseError):
+    """Errors in the controller, channel, or monitoring subsystem."""
+
+
+class UnknownDatapathError(ControlPlaneError):
+    """A control message referenced a datapath id not on the channel."""
+
+
+class PolicyError(HorseError):
+    """Errors in policy specification, compilation, or composition."""
+
+
+class PolicyValidationError(PolicyError):
+    """A policy specification failed validation (bad field, conflict)."""
+
+
+class PolicyConflictError(PolicyValidationError):
+    """Two composed policies produce contradictory rules."""
+
+
+class TrafficError(HorseError):
+    """Errors in traffic matrix or flow generator configuration."""
+
+
+class ExperimentError(HorseError):
+    """Errors in benchmark/experiment harness configuration."""

@@ -1,0 +1,113 @@
+"""Engine events: the "temporally ordered set of inputs for the topology".
+
+Flow arrivals/completions, link failures/recoveries, and coalesced
+re-route sweeps.  Event priorities order same-instant processing: link
+state changes apply before flow arrivals, and re-route sweeps run last
+so they see every rule installed at that instant.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..sim.event import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import FlowLevelEngine
+    from .flow import Flow
+
+#: Event priorities (lower fires first at equal times).
+PRIO_LINK = -10
+PRIO_ARRIVAL = 0
+PRIO_COMPLETION = 5
+PRIO_REROUTE = 10
+
+
+class FlowArrival(Event):
+    """A new flow starts offering traffic."""
+
+    __slots__ = ("engine", "flow")
+
+    def __init__(self, time: float, engine: "FlowLevelEngine", flow: "Flow") -> None:
+        super().__init__(time, priority=PRIO_ARRIVAL)
+        self.engine = engine
+        self.flow = flow
+
+    def fire(self, sim) -> None:
+        self.engine._on_arrival(self.flow)
+
+
+class FlowCompletion(Event):
+    """A volume flow drained its last byte (projected; re-scheduled when
+    rates change)."""
+
+    __slots__ = ("engine", "flow")
+
+    def __init__(self, time: float, engine: "FlowLevelEngine", flow: "Flow") -> None:
+        super().__init__(time, priority=PRIO_COMPLETION)
+        self.engine = engine
+        self.flow = flow
+
+    def fire(self, sim) -> None:
+        self.engine._on_completion(self.flow)
+
+
+class FlowEnd(Event):
+    """A continuous flow reaches its configured duration."""
+
+    __slots__ = ("engine", "flow")
+
+    def __init__(self, time: float, engine: "FlowLevelEngine", flow: "Flow") -> None:
+        super().__init__(time, priority=PRIO_COMPLETION)
+        self.engine = engine
+        self.flow = flow
+
+    def fire(self, sim) -> None:
+        self.engine._on_end(self.flow)
+
+
+class LinkFailure(Event):
+    """An injected link failure (poster: "link failure" input event)."""
+
+    __slots__ = ("engine", "node_a", "node_b")
+
+    def __init__(
+        self, time: float, engine: "FlowLevelEngine", node_a: str, node_b: str
+    ) -> None:
+        super().__init__(time, priority=PRIO_LINK)
+        self.engine = engine
+        self.node_a = node_a
+        self.node_b = node_b
+
+    def fire(self, sim) -> None:
+        self.engine._on_link_state(self.node_a, self.node_b, up=False)
+
+
+class LinkRecovery(Event):
+    """An injected link recovery."""
+
+    __slots__ = ("engine", "node_a", "node_b")
+
+    def __init__(
+        self, time: float, engine: "FlowLevelEngine", node_a: str, node_b: str
+    ) -> None:
+        super().__init__(time, priority=PRIO_LINK)
+        self.engine = engine
+        self.node_a = node_a
+        self.node_b = node_b
+
+    def fire(self, sim) -> None:
+        self.engine._on_link_state(self.node_a, self.node_b, up=True)
+
+
+class RerouteSweep(Event):
+    """Coalesced re-route of flows affected by rule/link changes."""
+
+    __slots__ = ("engine",)
+
+    def __init__(self, time: float, engine: "FlowLevelEngine") -> None:
+        super().__init__(time, priority=PRIO_REROUTE)
+        self.engine = engine
+
+    def fire(self, sim) -> None:
+        self.engine._on_reroute_sweep()

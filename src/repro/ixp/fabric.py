@@ -1,0 +1,158 @@
+"""IXP peering-fabric builder.
+
+Builds the evaluation substrate the poster proposes: "an SDN model based
+on the topology of one of the largest Internet Exchange Points".  Real
+IXP layouts are two-tier: member routers attach to *edge* switches,
+which interconnect through a *core* (Figure 1 of the poster).  The
+builder creates that fabric, attaches a skewed member population, and
+registers everyone at a route server.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import TopologyError
+from ..net.node import Host
+from ..net.topology import Topology
+from ..sim.rng import RngRegistry
+from .members import Member, synthesize_members
+from .route_server import RouteServer
+
+
+@dataclass
+class IxpFabric:
+    """A built IXP: topology + members + route server.
+
+    Attributes
+    ----------
+    topology:
+        Hosts are member routers (named ``m<asn>``); switches are the
+        edge (``edge<i>``) and core (``core<i>``) layers.
+    members:
+        Member records with ``host_name`` filled in.
+    route_server:
+        All members registered with open (announce-all) policies.
+    """
+
+    topology: Topology
+    members: List[Member]
+    route_server: RouteServer
+    edge_names: List[str] = field(default_factory=list)
+    core_names: List[str] = field(default_factory=list)
+
+    def member_by_host(self, host_name: str) -> Member:
+        for member in self.members:
+            if member.host_name == host_name:
+                return member
+        raise TopologyError(f"no member with host {host_name!r}")
+
+    def member_weights(self) -> Dict[str, float]:
+        """host name -> traffic weight (for gravity matrices)."""
+        return {m.host_name: m.weight for m in self.members}
+
+    def core_directions(self):
+        """Every edge<->core link direction (the fabric's hot links)."""
+        core = set(self.core_names)
+        edge = set(self.edge_names)
+        for direction in self.topology.directions():
+            a = direction.src_port.node.name
+            b = direction.dst_port.node.name
+            if (a in edge and b in core) or (a in core and b in edge):
+                yield direction
+
+    def summary(self) -> dict:
+        out = self.topology.summary()
+        out["members"] = len(self.members)
+        out["edges"] = len(self.edge_names)
+        out["cores"] = len(self.core_names)
+        return out
+
+
+def build_ixp(
+    num_members: int,
+    num_edges: Optional[int] = None,
+    num_cores: Optional[int] = None,
+    members_per_edge: int = 16,
+    oversubscription: float = 2.0,
+    seed: int = 0,
+    access_delay_s: float = 5e-6,
+    fabric_delay_s: float = 2e-6,
+    members: Optional[List[Member]] = None,
+) -> IxpFabric:
+    """Build a two-tier IXP peering fabric.
+
+    Parameters
+    ----------
+    num_members:
+        Member count (ignored when ``members`` is given explicitly).
+    num_edges / num_cores:
+        Default: enough edges for ``members_per_edge`` members each, and
+        ``max(2, edges // 2)`` cores.
+    oversubscription:
+        Edge uplink capacity = attached member capacity / cores /
+        oversubscription (at least the fastest attached member port).
+
+    Examples
+    --------
+    >>> fabric = build_ixp(8)
+    >>> fabric.summary()["members"]
+    8
+    """
+    rng = RngRegistry(seed).stream("ixp-members")
+    if members is None:
+        members = synthesize_members(num_members, rng)
+    else:
+        members = list(members)
+        num_members = len(members)
+    if num_edges is None:
+        num_edges = max(2, math.ceil(num_members / members_per_edge))
+    if num_cores is None:
+        num_cores = max(2, num_edges // 2)
+    if num_edges < 1 or num_cores < 1:
+        raise TopologyError("need >= 1 edge and >= 1 core switch")
+
+    topo = Topology(name=f"ixp-{num_members}m-{num_edges}e-{num_cores}c")
+    cores = [topo.add_switch(f"core{i + 1}") for i in range(num_cores)]
+    edges = [topo.add_switch(f"edge{i + 1}") for i in range(num_edges)]
+
+    # Interleave members across edges so big members spread out (they
+    # are ordered by weight, descending).
+    per_edge_capacity = [0.0] * num_edges
+    route_server = RouteServer()
+    for index, member in enumerate(members):
+        edge_index = index % num_edges
+        edge = edges[edge_index]
+        host = topo.add_host(f"m{member.asn}")
+        member.host_name = host.name
+        topo.add_link(
+            host,
+            edge,
+            capacity_bps=member.port_bps,
+            delay_s=access_delay_s,
+        )
+        per_edge_capacity[edge_index] += member.port_bps
+        route_server.register(member)
+
+    # Edge uplinks: capacity sized from attached members.
+    for edge_index, edge in enumerate(edges):
+        fastest = max(
+            (m.port_bps for i, m in enumerate(members) if i % num_edges == edge_index),
+            default=1e9,
+        )
+        uplink = max(
+            fastest,
+            per_edge_capacity[edge_index] / num_cores / oversubscription,
+        )
+        for core in cores:
+            topo.add_link(edge, core, capacity_bps=uplink, delay_s=fabric_delay_s)
+
+    return IxpFabric(
+        topology=topo,
+        members=members,
+        route_server=route_server,
+        edge_names=[e.name for e in edges],
+        core_names=[c.name for c in cores],
+    )

@@ -1,0 +1,104 @@
+"""IXP members.
+
+A member is an AS connected to the peering fabric through a router port.
+Members carry a traffic weight (their share of fabric traffic — drawn
+from a Zipf-like distribution, as member sizes at real IXPs are heavily
+skewed), a port capacity class, and the prefixes they originate.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..errors import TrafficError
+from ..net.address import IPv4Network
+from ..traffic.distributions import zipf_weights
+
+#: Standard IXP port capacity classes (bps).
+PORT_CLASSES = (1e9, 10e9, 100e9)
+
+
+@dataclass
+class Member:
+    """One IXP member AS.
+
+    Attributes
+    ----------
+    asn:
+        Autonomous system number (synthetic).
+    name:
+        Display name; also the member router's host name in the topology
+        (prefixed when built into a fabric).
+    weight:
+        Relative share of fabric traffic (sums to 1 across members).
+    port_bps:
+        Access port capacity.
+    prefixes:
+        IPv4 prefixes the member originates.
+    kind:
+        'eyeball' | 'content' | 'transit' — drives traffic asymmetry in
+        the synthetic trace (content sends, eyeballs receive).
+    """
+
+    asn: int
+    name: str
+    weight: float
+    port_bps: float
+    prefixes: List[IPv4Network] = field(default_factory=list)
+    kind: str = "transit"
+    host_name: Optional[str] = None  # set when attached to a fabric
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise TrafficError(f"member weight must be >= 0, got {self.weight}")
+        if self.port_bps <= 0:
+            raise TrafficError(f"member port must be > 0 bps, got {self.port_bps}")
+
+
+def synthesize_members(
+    count: int,
+    rng: random.Random,
+    zipf_exponent: float = 1.0,
+    content_fraction: float = 0.2,
+    eyeball_fraction: float = 0.4,
+) -> List[Member]:
+    """Create a skewed member population.
+
+    Weights follow a Zipf law; bigger members get faster ports (the top
+    decile 100G, the next three deciles 10G, the rest 1G) — matching the
+    shape of public IXP member lists.
+    """
+    if count < 2:
+        raise TrafficError(f"an IXP needs >= 2 members, got {count}")
+    weights = zipf_weights(count, exponent=zipf_exponent)
+    members: List[Member] = []
+    for i, weight in enumerate(weights):
+        rank = i / count
+        if rank < 0.1:
+            port = PORT_CLASSES[2]
+        elif rank < 0.4:
+            port = PORT_CLASSES[1]
+        else:
+            port = PORT_CLASSES[0]
+        draw = rng.random()
+        if draw < content_fraction:
+            kind = "content"
+        elif draw < content_fraction + eyeball_fraction:
+            kind = "eyeball"
+        else:
+            kind = "transit"
+        # One /20 per member from a documentation-style space.
+        prefix = IPv4Network((f"{100 + (i >> 8)}.{(i & 0xFF)}.0.0", 20))
+        members.append(
+            Member(
+                asn=64512 + i,
+                name=f"as{64512 + i}",
+                weight=weight,
+                port_bps=port,
+                prefixes=[prefix],
+                kind=kind,
+            )
+        )
+    return members

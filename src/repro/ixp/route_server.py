@@ -1,0 +1,150 @@
+"""The IXP route server.
+
+Multilateral peering at IXPs is mediated by a route server: members
+announce prefixes to it and attach export policies (announce to all,
+an allow-list, or a block-list — the BGP-community controls route
+servers implement).  Horse's route server keeps per-member RIBs and
+answers the one question the simulator needs: *may traffic flow from
+member A to member B?* — which filters the traffic matrix and seeds
+policies (e.g. a member requesting blackholing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..errors import ControlPlaneError
+from ..net.address import IPv4Address, IPv4Network
+from .members import Member
+
+
+@dataclass
+class ExportPolicy:
+    """A member's export policy at the route server.
+
+    mode:
+        'all' (default multilateral peering), 'allow' (announce only to
+        ``members``), or 'block' (announce to all except ``members``).
+    """
+
+    mode: str = "all"
+    members: Set[int] = field(default_factory=set)  # ASNs
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("all", "allow", "block"):
+            raise ControlPlaneError(
+                f"export mode must be all/allow/block, got {self.mode!r}"
+            )
+
+    def exports_to(self, asn: int) -> bool:
+        if self.mode == "all":
+            return True
+        if self.mode == "allow":
+            return asn in self.members
+        return asn not in self.members
+
+
+class RouteServer:
+    """Per-member RIBs plus export policies.
+
+    Examples
+    --------
+    rs = RouteServer()
+    rs.register(member_a); rs.register(member_b)
+    rs.set_export_policy(member_a.asn, ExportPolicy("block", {member_b.asn}))
+    rs.peering_allowed(member_b.asn, member_a.asn)
+    False
+    """
+
+    def __init__(self) -> None:
+        self._members: Dict[int, Member] = {}
+        self._announcements: Dict[int, List[IPv4Network]] = {}
+        self._policies: Dict[int, ExportPolicy] = {}
+
+    # ------------------------------------------------------------------
+    # Session management
+    # ------------------------------------------------------------------
+    def register(self, member: Member) -> None:
+        """Open a (modelled) BGP session and announce the member's
+        prefixes."""
+        if member.asn in self._members:
+            raise ControlPlaneError(f"member AS{member.asn} already registered")
+        self._members[member.asn] = member
+        self._announcements[member.asn] = list(member.prefixes)
+        self._policies[member.asn] = ExportPolicy()
+
+    def withdraw(self, asn: int) -> None:
+        """Close a member's session (prefixes withdrawn)."""
+        self._require(asn)
+        del self._members[asn]
+        del self._announcements[asn]
+        del self._policies[asn]
+
+    def announce(self, asn: int, prefix: IPv4Network) -> None:
+        """Announce one extra prefix for a member."""
+        self._require(asn)
+        if prefix not in self._announcements[asn]:
+            self._announcements[asn].append(prefix)
+
+    def set_export_policy(self, asn: int, policy: ExportPolicy) -> None:
+        self._require(asn)
+        self._policies[asn] = policy
+
+    def _require(self, asn: int) -> Member:
+        if asn not in self._members:
+            raise ControlPlaneError(f"unknown member AS{asn}")
+        return self._members[asn]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def members(self) -> List[Member]:
+        return [self._members[a] for a in sorted(self._members)]
+
+    def peering_allowed(self, src_asn: int, dst_asn: int) -> bool:
+        """May traffic flow src→dst? (dst must export routes to src.)"""
+        if src_asn == dst_asn:
+            return False
+        self._require(src_asn)
+        self._require(dst_asn)
+        return self._policies[dst_asn].exports_to(src_asn)
+
+    def peering_matrix(self) -> Dict[Tuple[str, str], bool]:
+        """(src host, dst host) -> allowed, for matrix filtering."""
+        out: Dict[Tuple[str, str], bool] = {}
+        for a in self.members:
+            for b in self.members:
+                if a.asn == b.asn:
+                    continue
+                src = a.host_name or a.name
+                dst = b.host_name or b.name
+                out[(src, dst)] = self.peering_allowed(a.asn, b.asn)
+        return out
+
+    def rib_for(self, asn: int) -> List[Tuple[IPv4Network, int]]:
+        """The (prefix, origin ASN) routes visible to one member."""
+        self._require(asn)
+        routes: List[Tuple[IPv4Network, int]] = []
+        for origin, prefixes in sorted(self._announcements.items()):
+            if origin == asn:
+                continue
+            if not self._policies[origin].exports_to(asn):
+                continue
+            for prefix in prefixes:
+                routes.append((prefix, origin))
+        return routes
+
+    def origin_of(self, address: IPv4Address) -> Optional[int]:
+        """Longest-prefix-match origin ASN for an address, if any."""
+        best: Optional[Tuple[int, int]] = None  # (prefix_len, asn)
+        for asn, prefixes in self._announcements.items():
+            for prefix in prefixes:
+                if prefix.contains(address):
+                    if best is None or prefix.prefix_len > best[0]:
+                        best = (prefix.prefix_len, asn)
+        return best[1] if best else None
+
+    def __len__(self) -> int:
+        return len(self._members)

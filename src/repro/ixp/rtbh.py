@@ -1,0 +1,103 @@
+"""Remotely-triggered blackholing (RTBH) through the route server.
+
+Real IXP members request DDoS mitigation by announcing the victim
+prefix tagged with the BLACKHOLE community (RFC 7999); the route server
+propagates it and the fabric drops matching traffic.  Horse models the
+signalling side here: members announce/withdraw blackhole requests at
+the route server, and the :class:`RtbhCoordinator` translates them into
+drop rules through a :class:`~repro.control.apps.blackhole.BlackholeApp`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..errors import ControlPlaneError
+from ..net.address import IPv4Network
+from .route_server import RouteServer
+
+#: RFC 7999 well-known BLACKHOLE community.
+BLACKHOLE_COMMUNITY = (65535, 666)
+
+
+@dataclass(frozen=True)
+class BlackholeRequest:
+    """A member's request to drop traffic toward one of its prefixes."""
+
+    asn: int
+    prefix: IPv4Network
+
+    def __repr__(self) -> str:
+        return f"<BlackholeRequest AS{self.asn} {self.prefix}>"
+
+
+class RtbhCoordinator:
+    """Bridge route-server blackhole announcements to data-plane drops.
+
+    Parameters
+    ----------
+    route_server:
+        Used to verify the requesting member exists and actually
+        originates the prefix (members may only blackhole their own
+        space — the standard RTBH safety rule).
+    blackhole_app:
+        The controller app that installs/removes the drop rules.  It
+        must already be attached to a started controller.
+
+    Examples
+    --------
+    rtbh = RtbhCoordinator(fabric.route_server, blackhole_app)
+    rtbh.announce(member.asn, member.prefixes[0])   # drops installed
+    rtbh.withdraw(member.asn, member.prefixes[0])   # drops removed
+    """
+
+    def __init__(self, route_server: RouteServer, blackhole_app) -> None:
+        self.route_server = route_server
+        self.blackhole_app = blackhole_app
+        self._active: Set[BlackholeRequest] = set()
+        #: Audit log of (time-free) accepted announcements/withdrawals.
+        self.log: List[Tuple[str, BlackholeRequest]] = []
+
+    # ------------------------------------------------------------------
+    def announce(self, asn: int, prefix: IPv4Network) -> BlackholeRequest:
+        """A member announces ``prefix`` with the BLACKHOLE community."""
+        self._validate_origin(asn, prefix)
+        request = BlackholeRequest(asn=asn, prefix=prefix)
+        if request in self._active:
+            raise ControlPlaneError(f"{request!r} already active")
+        self._active.add(request)
+        self.blackhole_app.add_target(prefix)
+        self.log.append(("announce", request))
+        return request
+
+    def withdraw(self, asn: int, prefix: IPv4Network) -> None:
+        """The member withdraws the blackhole announcement."""
+        request = BlackholeRequest(asn=asn, prefix=prefix)
+        if request not in self._active:
+            raise ControlPlaneError(f"no active blackhole for {request!r}")
+        self._active.remove(request)
+        self.blackhole_app.remove_target(prefix)
+        self.log.append(("withdraw", request))
+
+    def _validate_origin(self, asn: int, prefix: IPv4Network) -> None:
+        member = self.route_server._require(asn)
+        covered = any(
+            own.prefix_len <= prefix.prefix_len and own.contains(prefix.network)
+            for own in member.prefixes
+        )
+        if not covered:
+            raise ControlPlaneError(
+                f"AS{asn} may only blackhole its own space; "
+                f"{prefix} is not within {[str(p) for p in member.prefixes]}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> List[BlackholeRequest]:
+        return sorted(
+            self._active, key=lambda r: (r.asn, int(r.prefix.network))
+        )
+
+    def is_blackholed(self, asn: int, prefix: IPv4Network) -> bool:
+        return BlackholeRequest(asn=asn, prefix=prefix) in self._active

@@ -1,0 +1,39 @@
+"""Network substrate: addresses, nodes, links, topology, generators."""
+
+from .address import (
+    IPv4Address,
+    IPv4Network,
+    MacAddress,
+    ip_from_index,
+    mac_from_index,
+)
+from .io import (
+    load_topology,
+    save_graphml,
+    save_topology,
+    topology_from_dict,
+    topology_to_dict,
+)
+from .link import Link, LinkDirection, Port
+from .node import Host, Node, Switch
+from .topology import Topology
+
+__all__ = [
+    "Host",
+    "IPv4Address",
+    "IPv4Network",
+    "Link",
+    "LinkDirection",
+    "MacAddress",
+    "Node",
+    "Port",
+    "Switch",
+    "Topology",
+    "ip_from_index",
+    "load_topology",
+    "mac_from_index",
+    "save_graphml",
+    "save_topology",
+    "topology_from_dict",
+    "topology_to_dict",
+]

@@ -1,0 +1,244 @@
+"""MAC and IPv4 address types.
+
+Implemented from scratch (no ``ipaddress`` import) so that match fields,
+prefixes, and wildcards behave exactly as the OpenFlow abstraction needs,
+and so addresses hash/compare as cheap integers inside hot lookup paths.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, Tuple, Union
+
+from ..errors import AddressError
+
+_MAC_RE = re.compile(r"^([0-9a-fA-F]{2}[:\-]){5}[0-9a-fA-F]{2}$")
+_IPV4_RE = re.compile(r"^(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})$")
+
+
+class MacAddress:
+    """A 48-bit MAC address.
+
+    Accepts ``"aa:bb:cc:dd:ee:ff"`` (or ``-`` separated) strings, raw
+    integers, or another :class:`MacAddress`.
+
+    Examples
+    --------
+    >>> str(MacAddress("00:00:00:00:00:01"))
+    '00:00:00:00:00:01'
+    >>> int(MacAddress(1))
+    1
+    """
+
+    __slots__ = ("value",)
+
+    BROADCAST_VALUE = (1 << 48) - 1
+
+    def __init__(self, value: Union[str, int, "MacAddress"]) -> None:
+        if isinstance(value, MacAddress):
+            self.value = value.value
+        elif isinstance(value, int):
+            if not 0 <= value < (1 << 48):
+                raise AddressError(f"MAC integer out of range: {value}")
+            self.value = value
+        elif isinstance(value, str):
+            if not _MAC_RE.match(value):
+                raise AddressError(f"invalid MAC address string: {value!r}")
+            self.value = int(value.replace("-", ":").replace(":", ""), 16)
+        else:
+            raise AddressError(f"cannot build MAC from {type(value).__name__}")
+
+    @classmethod
+    def broadcast(cls) -> "MacAddress":
+        """The all-ones broadcast address ff:ff:ff:ff:ff:ff."""
+        return cls(cls.BROADCAST_VALUE)
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.value == self.BROADCAST_VALUE
+
+    @property
+    def is_multicast(self) -> bool:
+        """True when the I/G bit (LSB of the first octet) is set."""
+        return bool((self.value >> 40) & 1)
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __str__(self) -> str:
+        raw = f"{self.value:012x}"
+        return ":".join(raw[i : i + 2] for i in range(0, 12, 2))
+
+    def __repr__(self) -> str:
+        return f"MacAddress('{self}')"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MacAddress):
+            return self.value == other.value
+        if isinstance(other, (int, str)):
+            try:
+                return self.value == MacAddress(other).value
+            except AddressError:
+                return NotImplemented
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __lt__(self, other: "MacAddress") -> bool:
+        return self.value < other.value
+
+
+class IPv4Address:
+    """A 32-bit IPv4 address.
+
+    Examples
+    --------
+    >>> str(IPv4Address("10.0.0.1"))
+    '10.0.0.1'
+    >>> IPv4Address("10.0.0.1") in IPv4Network("10.0.0.0/24")
+    True
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Union[str, int, "IPv4Address"]) -> None:
+        if isinstance(value, IPv4Address):
+            self.value = value.value
+        elif isinstance(value, int):
+            if not 0 <= value < (1 << 32):
+                raise AddressError(f"IPv4 integer out of range: {value}")
+            self.value = value
+        elif isinstance(value, str):
+            match = _IPV4_RE.match(value)
+            if not match:
+                raise AddressError(f"invalid IPv4 address string: {value!r}")
+            octets = [int(g) for g in match.groups()]
+            if any(o > 255 for o in octets):
+                raise AddressError(f"IPv4 octet out of range in {value!r}")
+            self.value = (
+                (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3]
+            )
+        else:
+            raise AddressError(f"cannot build IPv4 from {type(value).__name__}")
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __str__(self) -> str:
+        v = self.value
+        return f"{v >> 24}.{(v >> 16) & 0xFF}.{(v >> 8) & 0xFF}.{v & 0xFF}"
+
+    def __repr__(self) -> str:
+        return f"IPv4Address('{self}')"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPv4Address):
+            return self.value == other.value
+        if isinstance(other, (int, str)):
+            try:
+                return self.value == IPv4Address(other).value
+            except AddressError:
+                return NotImplemented
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.value)
+
+    def __lt__(self, other: "IPv4Address") -> bool:
+        return self.value < other.value
+
+    def __add__(self, offset: int) -> "IPv4Address":
+        return IPv4Address(self.value + offset)
+
+
+class IPv4Network:
+    """An IPv4 prefix (address + mask length) supporting containment tests.
+
+    Examples
+    --------
+    >>> net = IPv4Network("192.168.1.0/24")
+    >>> net.contains(IPv4Address("192.168.1.77"))
+    True
+    >>> net.num_addresses
+    256
+    """
+
+    __slots__ = ("network", "prefix_len", "mask")
+
+    def __init__(self, spec: Union[str, Tuple[Union[str, int, IPv4Address], int]]) -> None:
+        if isinstance(spec, str):
+            if "/" not in spec:
+                raise AddressError(f"network spec must contain '/': {spec!r}")
+            addr_part, _, len_part = spec.partition("/")
+            address = IPv4Address(addr_part)
+            try:
+                prefix_len = int(len_part)
+            except ValueError:
+                raise AddressError(f"invalid prefix length in {spec!r}") from None
+        else:
+            address = IPv4Address(spec[0])
+            prefix_len = int(spec[1])
+        if not 0 <= prefix_len <= 32:
+            raise AddressError(f"prefix length out of range: {prefix_len}")
+        self.prefix_len = prefix_len
+        self.mask = ((1 << prefix_len) - 1) << (32 - prefix_len) if prefix_len else 0
+        self.network = IPv4Address(int(address) & self.mask)
+
+    @property
+    def num_addresses(self) -> int:
+        return 1 << (32 - self.prefix_len)
+
+    def contains(self, address: Union[str, int, IPv4Address]) -> bool:
+        """True when ``address`` falls inside this prefix."""
+        return (int(IPv4Address(address)) & self.mask) == int(self.network)
+
+    def __contains__(self, address: Union[str, int, IPv4Address]) -> bool:
+        return self.contains(address)
+
+    def hosts(self) -> Iterator[IPv4Address]:
+        """Iterate the usable host addresses (skips network/broadcast for
+        prefixes shorter than /31)."""
+        base = int(self.network)
+        if self.prefix_len >= 31:
+            for offset in range(self.num_addresses):
+                yield IPv4Address(base + offset)
+        else:
+            for offset in range(1, self.num_addresses - 1):
+                yield IPv4Address(base + offset)
+
+    def __str__(self) -> str:
+        return f"{self.network}/{self.prefix_len}"
+
+    def __repr__(self) -> str:
+        return f"IPv4Network('{self}')"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPv4Network):
+            return (
+                self.network == other.network and self.prefix_len == other.prefix_len
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.network, self.prefix_len))
+
+
+def mac_from_index(index: int) -> MacAddress:
+    """Deterministically map a small integer to a locally-administered MAC.
+
+    Used by topology generators to hand out stable host addresses.
+    """
+    if index < 0 or index >= (1 << 46):
+        raise AddressError(f"index out of range for MAC generation: {index}")
+    # Set the locally-administered bit (0x02) in the first octet.
+    return MacAddress((0x02 << 40) | index)
+
+
+def ip_from_index(index: int, base: str = "10.0.0.0") -> IPv4Address:
+    """Deterministically map a small integer to an IPv4 address above ``base``."""
+    base_value = int(IPv4Address(base))
+    value = base_value + index + 1
+    if value >= (1 << 32):
+        raise AddressError(f"index {index} overflows IPv4 space from {base}")
+    return IPv4Address(value)

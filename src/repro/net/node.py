@@ -1,0 +1,103 @@
+"""Nodes: hosts and switches.
+
+A :class:`Host` is a traffic endpoint with a MAC/IPv4 identity.  A
+:class:`Switch` owns an OpenFlow pipeline (flow tables, group table,
+meter table) that both the flow-level and packet-level engines consult.
+The pipeline itself lives in :mod:`repro.openflow.switch`; the node class
+here is the topological object.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from ..errors import PortError
+from .address import IPv4Address, MacAddress
+from .link import Port
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..openflow.switch import OpenFlowPipeline
+
+
+class Node:
+    """Base class of all topology nodes."""
+
+    __slots__ = ("name", "ports", "metadata")
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("node name must be non-empty")
+        self.name = name
+        self.ports: Dict[int, Port] = {}
+        #: Free-form annotations (e.g. IXP member info, tier labels).
+        self.metadata: Dict[str, object] = {}
+
+    def add_port(self, number: Optional[int] = None) -> Port:
+        """Create a new port; auto-numbers from 1 when ``number`` is None."""
+        if number is None:
+            number = max(self.ports, default=0) + 1
+        if number in self.ports:
+            raise PortError(f"port {number} already exists on {self.name}")
+        port = Port(self, number)
+        self.ports[number] = port
+        return port
+
+    def port(self, number: int) -> Port:
+        """Look up a port by number."""
+        try:
+            return self.ports[number]
+        except KeyError:
+            raise PortError(f"no port {number} on node {self.name}") from None
+
+    @property
+    def connected_ports(self) -> List[Port]:
+        return [p for p in self.ports.values() if p.connected]
+
+    @property
+    def is_switch(self) -> bool:
+        return isinstance(self, Switch)
+
+    @property
+    def is_host(self) -> bool:
+        return isinstance(self, Host)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name} ports={len(self.ports)}>"
+
+
+class Host(Node):
+    """A traffic endpoint with MAC and IPv4 identity."""
+
+    __slots__ = ("mac", "ip")
+
+    def __init__(self, name: str, mac: MacAddress, ip: IPv4Address) -> None:
+        super().__init__(name)
+        self.mac = MacAddress(mac)
+        self.ip = IPv4Address(ip)
+
+    @property
+    def uplink_port(self) -> Port:
+        """The host's single attachment port (hosts are single-homed by
+        convention; multi-homed hosts can address ports explicitly)."""
+        connected = self.connected_ports
+        if not connected:
+            raise PortError(f"host {self.name} has no connected port")
+        return connected[0]
+
+
+class Switch(Node):
+    """An SDN switch identified by a datapath id, owning an OpenFlow
+    pipeline installed by :class:`repro.openflow.switch.OpenFlowPipeline`.
+
+    The pipeline attribute is assigned by the topology when the switch is
+    added (keeping this module free of an openflow import cycle).
+    """
+
+    __slots__ = ("dpid", "pipeline")
+
+    def __init__(self, name: str, dpid: int) -> None:
+        super().__init__(name)
+        if dpid < 0:
+            raise ValueError(f"dpid must be >= 0, got {dpid}")
+        self.dpid = dpid
+        self.pipeline: Optional["OpenFlowPipeline"] = None

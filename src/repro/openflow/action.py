@@ -1,0 +1,192 @@
+"""OpenFlow actions and instructions.
+
+Actions transform or forward a traffic aggregate; instructions attach
+actions (and table/meter hops) to a flow entry.  The set mirrors the
+OpenFlow 1.3 constructs the Horse policies need: output, flood, drop,
+send-to-controller, set-field, and group indirection, plus goto-table
+and meter instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .headers import HeaderFields
+
+#: Reserved "port numbers" mirroring OpenFlow reserved ports.
+PORT_CONTROLLER = -1
+PORT_FLOOD = -2
+PORT_IN_PORT = -3
+PORT_ALL = -4
+
+
+class Action:
+    """Base class for all actions (marker type)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Output(Action):
+    """Forward out a specific port number."""
+
+    port: int
+
+    def __repr__(self) -> str:
+        return f"Output({self.port})"
+
+
+@dataclass(frozen=True, slots=True)
+class Flood(Action):
+    """Forward out every up port except the ingress port."""
+
+    def __repr__(self) -> str:
+        return "Flood()"
+
+
+@dataclass(frozen=True, slots=True)
+class Drop(Action):
+    """Explicitly discard the traffic (blackholing policies)."""
+
+    def __repr__(self) -> str:
+        return "Drop()"
+
+
+@dataclass(frozen=True, slots=True)
+class ToController(Action):
+    """Punt to the controller as a packet-in (reactive policies)."""
+
+    def __repr__(self) -> str:
+        return "ToController()"
+
+
+@dataclass(frozen=True, slots=True)
+class SetField(Action):
+    """Rewrite one header field before subsequent actions."""
+
+    field_name: str
+    value: Any
+
+    _ALLOWED = (
+        "eth_src",
+        "eth_dst",
+        "eth_type",
+        "vlan_vid",
+        "ip_src",
+        "ip_dst",
+        "ip_proto",
+        "tp_src",
+        "tp_dst",
+    )
+
+    def __post_init__(self) -> None:
+        if self.field_name not in self._ALLOWED:
+            raise ValueError(f"unknown settable field: {self.field_name!r}")
+
+    def apply(self, headers: HeaderFields) -> HeaderFields:
+        return headers.with_fields(**{self.field_name: self.value})
+
+    def __repr__(self) -> str:
+        return f"SetField({self.field_name}={self.value})"
+
+
+@dataclass(frozen=True, slots=True)
+class GroupAction(Action):
+    """Hand processing to a group table entry (ECMP/failover)."""
+
+    group_id: int
+
+    def __repr__(self) -> str:
+        return f"Group({self.group_id})"
+
+
+@dataclass(frozen=True, slots=True)
+class PushVlan(Action):
+    """Tag the traffic with a VLAN id (peering-LAN isolation)."""
+
+    vlan_vid: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.vlan_vid <= 4094:
+            raise ValueError(f"VLAN id must be in 1..4094, got {self.vlan_vid}")
+
+    def apply(self, headers: HeaderFields) -> HeaderFields:
+        return headers.with_fields(vlan_vid=self.vlan_vid)
+
+    def __repr__(self) -> str:
+        return f"PushVlan({self.vlan_vid})"
+
+
+@dataclass(frozen=True, slots=True)
+class PopVlan(Action):
+    """Strip the VLAN tag before delivery to an access port."""
+
+    def apply(self, headers: HeaderFields) -> HeaderFields:
+        return headers.with_fields(vlan_vid=None)
+
+    def __repr__(self) -> str:
+        return "PopVlan()"
+
+
+# ----------------------------------------------------------------------
+# Instructions (OpenFlow 1.3 style)
+# ----------------------------------------------------------------------
+
+
+class Instruction:
+    """Base class for all instructions (marker type)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ApplyActions(Instruction):
+    """Execute an action list immediately, in order."""
+
+    actions: Tuple[Action, ...]
+
+    def __init__(self, actions) -> None:
+        object.__setattr__(self, "actions", tuple(actions))
+
+    def __repr__(self) -> str:
+        return f"ApplyActions({list(self.actions)})"
+
+
+@dataclass(frozen=True, slots=True)
+class GotoTable(Instruction):
+    """Continue matching in a later table of the pipeline."""
+
+    table_id: int
+
+    def __post_init__(self) -> None:
+        if self.table_id < 0:
+            raise ValueError(f"table_id must be >= 0, got {self.table_id}")
+
+    def __repr__(self) -> str:
+        return f"GotoTable({self.table_id})"
+
+
+@dataclass(frozen=True, slots=True)
+class MeterInstruction(Instruction):
+    """Subject the aggregate to a rate-limiting meter before actions."""
+
+    meter_id: int
+
+    def __repr__(self) -> str:
+        return f"Meter({self.meter_id})"
+
+
+def actions(*items: Action) -> ApplyActions:
+    """Shorthand building an ApplyActions instruction from actions."""
+    return ApplyActions(items)
+
+
+def output(port: int) -> ApplyActions:
+    """Shorthand for the single-output instruction list."""
+    return ApplyActions((Output(port),))
+
+
+def drop() -> ApplyActions:
+    """Shorthand for the explicit-drop instruction list."""
+    return ApplyActions((Drop(),))

@@ -1,0 +1,132 @@
+"""Packet-header field tuples.
+
+The poster defines a data flow as "an aggregate of packets with equal
+values of the header fields".  :class:`HeaderFields` is that equal-value
+tuple: an immutable, hashable record shared by the flow-level engine
+(one per flow) and the packet-level baseline (one per packet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..net.address import IPv4Address, MacAddress
+
+
+class EthType:
+    """EtherType constants used by match fields."""
+
+    IPV4 = 0x0800
+    ARP = 0x0806
+    VLAN = 0x8100
+    IPV6 = 0x86DD
+
+
+class IpProto:
+    """IP protocol numbers used by match fields."""
+
+    ICMP = 1
+    TCP = 6
+    UDP = 17
+
+
+#: Well-known transport ports used by application-based peering policies.
+class AppPort:
+    HTTP = 80
+    HTTPS = 443
+    DNS = 53
+    SSH = 22
+    RTMP = 1935
+
+
+@dataclass(frozen=True, slots=True)
+class HeaderFields:
+    """The header-field tuple identifying a flow aggregate.
+
+    All fields are optional: a pure L2 flow sets only the Ethernet
+    fields, an L4 flow sets the whole 5-tuple.  Instances are frozen and
+    hashable so they can key flow tables, statistics maps, and caches.
+    """
+
+    eth_src: Optional[MacAddress] = None
+    eth_dst: Optional[MacAddress] = None
+    eth_type: Optional[int] = None
+    vlan_vid: Optional[int] = None
+    ip_src: Optional[IPv4Address] = None
+    ip_dst: Optional[IPv4Address] = None
+    ip_proto: Optional[int] = None
+    tp_src: Optional[int] = None
+    tp_dst: Optional[int] = None
+
+    def with_fields(self, **changes) -> "HeaderFields":
+        """A copy with some fields rewritten (set-field actions)."""
+        return replace(self, **changes)
+
+    def five_tuple(self) -> tuple:
+        """The classic (ip_src, ip_dst, proto, tp_src, tp_dst) tuple."""
+        return (self.ip_src, self.ip_dst, self.ip_proto, self.tp_src, self.tp_dst)
+
+    def describe(self) -> str:
+        """A compact human-readable rendering of the set fields."""
+        parts = []
+        for field in (
+            "eth_src",
+            "eth_dst",
+            "eth_type",
+            "vlan_vid",
+            "ip_src",
+            "ip_dst",
+            "ip_proto",
+            "tp_src",
+            "tp_dst",
+        ):
+            value = getattr(self, field)
+            if value is not None:
+                if field == "eth_type":
+                    parts.append(f"{field}=0x{value:04x}")
+                else:
+                    parts.append(f"{field}={value}")
+        return " ".join(parts) if parts else "(any)"
+
+
+def tcp_flow(
+    ip_src: IPv4Address,
+    ip_dst: IPv4Address,
+    tp_src: int,
+    tp_dst: int,
+    eth_src: Optional[MacAddress] = None,
+    eth_dst: Optional[MacAddress] = None,
+) -> HeaderFields:
+    """Convenience constructor for a TCP 5-tuple header set."""
+    return HeaderFields(
+        eth_src=eth_src,
+        eth_dst=eth_dst,
+        eth_type=EthType.IPV4,
+        ip_src=ip_src,
+        ip_dst=ip_dst,
+        ip_proto=IpProto.TCP,
+        tp_src=tp_src,
+        tp_dst=tp_dst,
+    )
+
+
+def udp_flow(
+    ip_src: IPv4Address,
+    ip_dst: IPv4Address,
+    tp_src: int,
+    tp_dst: int,
+    eth_src: Optional[MacAddress] = None,
+    eth_dst: Optional[MacAddress] = None,
+) -> HeaderFields:
+    """Convenience constructor for a UDP 5-tuple header set."""
+    return HeaderFields(
+        eth_src=eth_src,
+        eth_dst=eth_dst,
+        eth_type=EthType.IPV4,
+        ip_src=ip_src,
+        ip_dst=ip_dst,
+        ip_proto=IpProto.UDP,
+        tp_src=tp_src,
+        tp_dst=tp_dst,
+    )

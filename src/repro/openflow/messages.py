@@ -1,0 +1,238 @@
+"""Control-plane message types.
+
+The poster removes real OpenFlow connections; these dataclasses are the
+in-memory equivalents of the wire messages, carried over the direct
+control channel (:mod:`repro.control.channel`).  Southbound messages go
+controller → switch, northbound messages switch → controller.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+from .action import Instruction
+from .group import Bucket, GroupType
+from .headers import HeaderFields
+from .match import Match
+from .meter import DropBand
+
+_XID = itertools.count(1)
+
+
+def next_xid() -> int:
+    """Allocate a transaction id (monotone per process)."""
+    return next(_XID)
+
+
+@dataclass
+class Message:
+    """Base of every control message; carries datapath id and xid."""
+
+    dpid: int
+    xid: int = field(default_factory=next_xid)
+
+
+# ----------------------------------------------------------------------
+# Southbound (controller -> switch)
+# ----------------------------------------------------------------------
+
+
+class FlowModCommand(Enum):
+    ADD = "add"
+    MODIFY = "modify"
+    MODIFY_STRICT = "modify_strict"
+    DELETE = "delete"
+    DELETE_STRICT = "delete_strict"
+
+
+@dataclass
+class FlowMod(Message):
+    """Install/modify/delete flow entries on one switch table."""
+
+    command: FlowModCommand = FlowModCommand.ADD
+    table_id: int = 0
+    match: Match = field(default_factory=Match)
+    priority: int = 0
+    instructions: Tuple[Instruction, ...] = ()
+    idle_timeout: float = 0.0
+    hard_timeout: float = 0.0
+    cookie: int = 0
+    check_overlap: bool = False
+
+    def __post_init__(self) -> None:
+        self.instructions = tuple(self.instructions)
+
+
+class GroupModCommand(Enum):
+    ADD = "add"
+    MODIFY = "modify"
+    DELETE = "delete"
+
+
+@dataclass
+class GroupMod(Message):
+    """Install/modify/delete a group."""
+
+    command: GroupModCommand = GroupModCommand.ADD
+    group_id: int = 0
+    group_type: GroupType = GroupType.ALL
+    buckets: Tuple[Bucket, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.buckets = tuple(self.buckets)
+
+
+class MeterModCommand(Enum):
+    ADD = "add"
+    MODIFY = "modify"
+    DELETE = "delete"
+
+
+@dataclass
+class MeterMod(Message):
+    """Install/modify/delete a meter."""
+
+    command: MeterModCommand = MeterModCommand.ADD
+    meter_id: int = 0
+    bands: Tuple[DropBand, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.bands = tuple(self.bands)
+
+
+@dataclass
+class PacketOut(Message):
+    """Inject traffic at a switch (used to answer packet-ins)."""
+
+    in_port: int = 0
+    headers: Optional[HeaderFields] = None
+    out_ports: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.out_ports = tuple(self.out_ports)
+
+
+@dataclass
+class PortStatsRequest(Message):
+    """Ask for port counters; ``port_no`` None means every port."""
+
+    port_no: Optional[int] = None
+
+
+@dataclass
+class FlowStatsRequest(Message):
+    """Ask for flow entry counters filtered by table/match/cookie."""
+
+    table_id: Optional[int] = None
+    match: Optional[Match] = None
+    cookie: Optional[int] = None
+
+
+@dataclass
+class TableStatsRequest(Message):
+    """Ask for per-table lookup/match counters."""
+
+
+@dataclass
+class BarrierRequest(Message):
+    """Fence: the switch replies after all prior messages are applied."""
+
+
+# ----------------------------------------------------------------------
+# Northbound (switch -> controller)
+# ----------------------------------------------------------------------
+
+
+class PacketInReason(Enum):
+    NO_MATCH = "no_match"
+    ACTION = "action"
+
+
+@dataclass
+class PacketIn(Message):
+    """A flow aggregate punted to the controller.
+
+    ``rate_bps``/``size_bytes`` carry the flow-level context that a real
+    packet-in would lack — this is Horse's abstraction: the controller
+    reasons about flows, not packets.
+    """
+
+    in_port: int = 0
+    reason: PacketInReason = PacketInReason.NO_MATCH
+    headers: Optional[HeaderFields] = None
+    rate_bps: float = 0.0
+    size_bytes: int = 0
+    flow_id: Optional[int] = None
+
+
+class FlowRemovedReason(Enum):
+    IDLE_TIMEOUT = "idle"
+    HARD_TIMEOUT = "hard"
+    DELETE = "delete"
+
+
+@dataclass
+class FlowRemoved(Message):
+    """A flow entry expired or was deleted."""
+
+    table_id: int = 0
+    match: Match = field(default_factory=Match)
+    priority: int = 0
+    reason: FlowRemovedReason = FlowRemovedReason.IDLE_TIMEOUT
+    cookie: int = 0
+    duration_s: float = 0.0
+    packet_count: int = 0
+    byte_count: int = 0
+
+
+class PortStatusReason(Enum):
+    ADD = "add"
+    DELETE = "delete"
+    MODIFY = "modify"
+
+
+@dataclass
+class PortStatus(Message):
+    """A port (or its link) changed state."""
+
+    port_no: int = 0
+    reason: PortStatusReason = PortStatusReason.MODIFY
+    link_up: bool = True
+
+
+@dataclass
+class PortStatsReply(Message):
+    """Port counters; one dict per port (see Port.stats())."""
+
+    stats: List[dict] = field(default_factory=list)
+
+
+@dataclass
+class FlowStatsReply(Message):
+    """Flow entry counters; one dict per matching entry."""
+
+    stats: List[dict] = field(default_factory=list)
+
+
+@dataclass
+class TableStatsReply(Message):
+    """Per-table counters; one dict per table (see FlowTable.stats())."""
+
+    stats: List[dict] = field(default_factory=list)
+
+
+@dataclass
+class BarrierReply(Message):
+    """Acknowledges a BarrierRequest."""
+
+
+@dataclass
+class ErrorMsg(Message):
+    """The switch rejected a southbound message."""
+
+    error_type: str = "unknown"
+    detail: str = ""
+    failed_xid: int = 0

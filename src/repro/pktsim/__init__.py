@@ -1,0 +1,16 @@
+"""Packet-level baseline engine (the Mininet/ns-3 stand-in)."""
+
+from .engine import PacketLevelEngine
+from .packet import Packet
+from .queues import OutputQueue
+from .transport import AimdTransport, CbrTransport, Transport, make_transport
+
+__all__ = [
+    "AimdTransport",
+    "CbrTransport",
+    "OutputQueue",
+    "Packet",
+    "PacketLevelEngine",
+    "Transport",
+    "make_transport",
+]

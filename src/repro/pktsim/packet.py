@@ -1,0 +1,42 @@
+"""Packet objects for the packet-level baseline engine."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..openflow.headers import HeaderFields
+
+_PACKET_IDS = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """One packet: a header tuple, a size, and bookkeeping timestamps.
+
+    ``flow_id`` ties the packet back to the generating
+    :class:`~repro.flowsim.flow.Flow` so per-flow throughput and
+    completion can be measured at packet granularity.
+    """
+
+    headers: HeaderFields
+    size_bytes: int
+    flow_id: int
+    src: str
+    dst: str
+    sent_at: float = 0.0
+    #: Cumulative one-way propagation+transmission delay experienced.
+    accumulated_delay: float = 0.0
+    hops: int = 0
+    packet_id: int = field(default_factory=lambda: next(_PACKET_IDS))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"packet size must be > 0, got {self.size_bytes}")
+
+    def __repr__(self) -> str:
+        return (
+            f"<Packet {self.packet_id} flow={self.flow_id} "
+            f"{self.src}->{self.dst} {self.size_bytes}B>"
+        )

@@ -1,0 +1,136 @@
+"""Drop-tail output queues serializing packets onto links.
+
+One :class:`OutputQueue` per link direction.  Packets enqueue at the
+egress port; the head packet transmits for ``size*8/capacity`` seconds,
+then propagates for the link delay before arriving at the peer node.
+Queue overflow drops the tail (drop-tail discipline).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from ..net.link import LinkDirection
+from ..sim.kernel import Simulator
+from .packet import Packet
+
+
+class OutputQueue:
+    """A FIFO bound to one link direction.
+
+    Parameters
+    ----------
+    capacity_packets:
+        Maximum queued packets (the in-flight transmission excluded).
+    on_arrival:
+        Callback ``(packet, dst_port)`` invoked when a packet finishes
+        propagating to the far end.
+    on_drop:
+        Callback ``(packet, direction)`` for tail drops.
+    """
+
+    __slots__ = (
+        "sim",
+        "direction",
+        "capacity_packets",
+        "on_arrival",
+        "on_drop",
+        "_queue",
+        "_busy",
+        "enqueued",
+        "dropped",
+        "transmitted_bytes",
+        "busy_time",
+        "_busy_since",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        direction: LinkDirection,
+        capacity_packets: int,
+        on_arrival: Callable[[Packet, object], None],
+        on_drop: Callable[[Packet, LinkDirection], None],
+    ) -> None:
+        if capacity_packets < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity_packets}")
+        self.sim = sim
+        self.direction = direction
+        self.capacity_packets = capacity_packets
+        self.on_arrival = on_arrival
+        self.on_drop = on_drop
+        self._queue: Deque[Packet] = deque()
+        self._busy = False
+        self.enqueued = 0
+        self.dropped = 0
+        self.transmitted_bytes = 0
+        #: Total seconds the transmitter was busy (for utilization).
+        self.busy_time = 0.0
+        self._busy_since: Optional[float] = None
+
+    @property
+    def depth(self) -> int:
+        return len(self._queue)
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Queue a packet for transmission; False when tail-dropped."""
+        if not self.direction.up:
+            self._drop(packet)
+            return False
+        if len(self._queue) >= self.capacity_packets:
+            self._drop(packet)
+            return False
+        self._queue.append(packet)
+        self.enqueued += 1
+        if not self._busy:
+            self._start_next()
+        return True
+
+    def _drop(self, packet: Packet) -> None:
+        self.dropped += 1
+        self.direction.src_port.tx_dropped += 1
+        self.on_drop(packet, self.direction)
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            if self._busy_since is not None:
+                self.busy_time += self.sim.now - self._busy_since
+                self._busy_since = None
+            return
+        if not self._busy:
+            self._busy = True
+            self._busy_since = self.sim.now
+        packet = self._queue.popleft()
+        tx_time = packet.size_bytes * 8.0 / self.direction.capacity_bps
+        self.sim.call_in(tx_time, self._on_tx_done, packet)
+
+    def _on_tx_done(self, sim: Simulator, packet: Packet) -> None:
+        self.transmitted_bytes += packet.size_bytes
+        src_port = self.direction.src_port
+        dst_port = self.direction.dst_port
+        src_port.tx_packets += 1
+        src_port.tx_bytes += packet.size_bytes
+        delay = self.direction.delay_s
+        tx_time = packet.size_bytes * 8.0 / self.direction.capacity_bps
+        packet.accumulated_delay += delay + tx_time
+        packet.hops += 1
+        if self.direction.up:
+            sim.call_in(delay, self._on_propagated, packet)
+        # else: packet lost in flight (link failed mid-transmission)
+        self._start_next()
+
+    def _on_propagated(self, sim: Simulator, packet: Packet) -> None:
+        dst_port = self.direction.dst_port
+        dst_port.rx_packets += 1
+        dst_port.rx_bytes += packet.size_bytes
+        self.on_arrival(packet, dst_port)
+
+    def utilization(self, now: float, since: float = 0.0) -> float:
+        """Fraction of [since, now] the transmitter was busy."""
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += now - self._busy_since
+        window = now - since
+        return busy / window if window > 0 else 0.0

@@ -1,0 +1,143 @@
+"""Event primitives for the discrete-event kernel.
+
+The poster describes the data plane as driven by "a temporally ordered set
+of inputs for the topology".  :class:`Event` is the base type of every such
+input.  Events carry an absolute firing ``time`` and a kernel-assigned
+sequence number used to break ties deterministically, so two runs with the
+same seed produce identical event orderings.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+#: Module-level counter used only when events are created outside a kernel
+#: (e.g. in unit tests); the kernel re-stamps sequence numbers on schedule.
+_FALLBACK_SEQ = itertools.count()
+
+
+class Event:
+    """A schedulable occurrence at an absolute simulation time.
+
+    Subclasses override :meth:`fire` to perform their effect.  Events
+    compare by ``(time, priority, seq)`` which makes them directly usable
+    in a binary heap.
+
+    Parameters
+    ----------
+    time:
+        Absolute simulation time (seconds) at which the event fires.
+    priority:
+        Secondary ordering key for events at the same instant; lower
+        fires first.  Defaults to 0.
+    """
+
+    __slots__ = ("time", "priority", "seq", "cancelled", "daemon")
+
+    def __init__(self, time: float, priority: int = 0) -> None:
+        if time < 0:
+            raise ValueError(f"event time must be >= 0, got {time}")
+        self.time = float(time)
+        self.priority = priority
+        self.seq = next(_FALLBACK_SEQ)
+        self.cancelled = False
+        #: Daemon events (periodic housekeeping like monitoring polls) do
+        #: not keep the simulation alive: run() returns once only daemon
+        #: events remain, mirroring daemon-thread semantics.
+        self.daemon = False
+
+    def fire(self, sim: "Any") -> None:
+        """Execute the event's effect.
+
+        Parameters
+        ----------
+        sim:
+            The :class:`~repro.sim.kernel.Simulator` executing the event.
+        """
+        raise NotImplementedError
+
+    def cancel(self) -> None:
+        """Mark this event as cancelled; the kernel will skip it lazily."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        flag = " cancelled" if self.cancelled else ""
+        return f"<{type(self).__name__} t={self.time:.6f}{flag}>"
+
+
+class CallbackEvent(Event):
+    """An event that invokes an arbitrary callable when fired.
+
+    The callable receives the simulator as its only positional argument,
+    followed by any ``args``/``kwargs`` captured at creation.
+    """
+
+    __slots__ = ("callback", "args", "kwargs")
+
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(time, priority=priority)
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs
+
+    def fire(self, sim: Any) -> None:
+        self.callback(sim, *self.args, **self.kwargs)
+
+
+class PeriodicEvent(Event):
+    """An event that re-schedules itself every ``interval`` seconds.
+
+    Used for monitoring polls and statistics sampling.  Set ``until`` to
+    bound the recurrence, or call :meth:`cancel` to stop it.
+    """
+
+    __slots__ = ("callback", "interval", "until")
+
+    def __init__(
+        self,
+        time: float,
+        interval: float,
+        callback: Callable[[Any, float], None],
+        until: Optional[float] = None,
+        priority: int = 0,
+        daemon: bool = True,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        super().__init__(time, priority=priority)
+        self.callback = callback
+        self.interval = float(interval)
+        self.until = until
+        # Periodic housekeeping defaults to daemon so an idle monitor
+        # cannot keep run() spinning forever.
+        self.daemon = daemon
+
+    def fire(self, sim: Any) -> None:
+        self.callback(sim, self.time)
+        next_time = self.time + self.interval
+        if self.until is not None and next_time > self.until:
+            return
+        clone = PeriodicEvent(
+            next_time,
+            self.interval,
+            self.callback,
+            until=self.until,
+            priority=self.priority,
+            daemon=self.daemon,
+        )
+        sim.schedule(clone)

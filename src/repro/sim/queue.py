@@ -1,0 +1,86 @@
+"""Pending-event set implementations.
+
+The default :class:`HeapEventQueue` is a binary heap with ``(time,
+priority, seq)`` ordering — O(log n) push/pop and deterministic
+tie-breaking.  :class:`SortedListEventQueue` is a deliberately naive
+insertion-sorted list kept for the E6 ablation benchmark, demonstrating
+why the heap was chosen.
+"""
+
+from __future__ import annotations
+
+import bisect
+import heapq
+from typing import List, Optional, Protocol
+
+from .event import Event
+
+
+class EventQueue(Protocol):
+    """Interface required of a pending-event set."""
+
+    def push(self, event: Event) -> None:
+        """Insert an event."""
+        ...
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event. Raises IndexError if empty."""
+        ...
+
+    def peek(self) -> Optional[Event]:
+        """Return the earliest event without removing it, or None."""
+        ...
+
+    def __len__(self) -> int: ...
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        ...
+
+
+class HeapEventQueue:
+    """Binary-heap pending-event set (the production implementation)."""
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+
+    def push(self, event: Event) -> None:
+        heapq.heappush(self._heap, event)
+
+    def pop(self) -> Event:
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Optional[Event]:
+        return self._heap[0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def clear(self) -> None:
+        self._heap.clear()
+
+
+class SortedListEventQueue:
+    """Insertion-sorted list queue (ablation baseline, O(n) insert)."""
+
+    __slots__ = ("_events",)
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+
+    def push(self, event: Event) -> None:
+        bisect.insort(self._events, event)
+
+    def pop(self) -> Event:
+        return self._events.pop(0)
+
+    def peek(self) -> Optional[Event]:
+        return self._events[0] if self._events else None
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()

@@ -1,0 +1,139 @@
+"""Exporting run results: CSV flow records, JSON reports, text summary.
+
+The data any downstream analysis (pandas, gnuplot, spreadsheets) wants
+from a run, without adding dependencies: per-flow records as CSV, the
+whole run as a JSON document, and a human-readable one-screen summary.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import IO, TYPE_CHECKING, Union
+
+from ..flowsim.flow import Flow
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a core<->stats import cycle
+    from ..core.results import RunResult
+
+#: Columns of the per-flow CSV, in order.
+FLOW_COLUMNS = (
+    "flow_id",
+    "src",
+    "dst",
+    "start_time",
+    "end_time",
+    "state",
+    "terminal",
+    "demand_bps",
+    "size_bytes",
+    "duration_s",
+    "elastic",
+    "bytes_sent",
+    "bytes_delivered",
+    "bytes_dropped",
+    "fct_s",
+    "goodput_bps",
+    "reroutes",
+)
+
+
+def flow_row(flow: Flow) -> dict:
+    """One CSV row for a flow."""
+    fct = flow.flow_completion_time
+    goodput = None
+    if fct and fct > 0:
+        goodput = flow.bytes_delivered * 8.0 / fct
+    return {
+        "flow_id": flow.flow_id,
+        "src": flow.src,
+        "dst": flow.dst,
+        "start_time": flow.start_time,
+        "end_time": flow.end_time,
+        "state": flow.state.value,
+        "terminal": flow.route.terminal.value if flow.route else None,
+        "demand_bps": flow.demand_bps,
+        "size_bytes": flow.size_bytes,
+        "duration_s": flow.duration_s,
+        "elastic": flow.elastic,
+        "bytes_sent": round(flow.bytes_sent, 3),
+        "bytes_delivered": round(flow.bytes_delivered, 3),
+        "bytes_dropped": round(flow.bytes_dropped, 3),
+        "fct_s": round(fct, 9) if fct is not None else None,
+        "goodput_bps": round(goodput, 3) if goodput is not None else None,
+        "reroutes": flow.reroutes,
+    }
+
+
+def flows_to_csv(result: "RunResult", destination: Union[str, IO[str]]) -> int:
+    """Write every flow of a run as CSV; returns the row count."""
+    own = isinstance(destination, str)
+    handle = open(destination, "w", newline="") if own else destination
+    try:
+        writer = csv.DictWriter(handle, fieldnames=FLOW_COLUMNS)
+        writer.writeheader()
+        count = 0
+        for flow in result.flows:
+            writer.writerow(flow_row(flow))
+            count += 1
+        return count
+    finally:
+        if own:
+            handle.close()
+
+
+def result_to_dict(result: "RunResult") -> dict:
+    """The whole run as a JSON-compatible document."""
+    return {
+        "wall_time_s": result.wall_time_s,
+        "sim_time_s": result.sim_time_s,
+        "events": result.events,
+        "rule_count": result.rule_count,
+        "engine_summary": dict(result.engine_summary),
+        "fct_summary": result.fct_summary(),
+        "fairness": result.fairness(),
+        "goodput_bps": result.goodput_bps(),
+        "delivered_fraction": result.delivered_fraction,
+        "link_max_utilization": {
+            f"{node}:{port}": value
+            for (node, port), value in sorted(result.link_max_utilization.items())
+        },
+        "notes": list(result.notes),
+        "flows": [flow_row(flow) for flow in result.flows],
+    }
+
+
+def result_to_json(
+    result: "RunResult", destination: Union[str, IO[str]], indent: int = 2
+) -> None:
+    """Write the run document as JSON."""
+    doc = result_to_dict(result)
+    if isinstance(destination, str):
+        with open(destination, "w") as handle:
+            json.dump(doc, handle, indent=indent)
+    else:
+        json.dump(doc, destination, indent=indent)
+
+
+def summary_text(result: "RunResult") -> str:
+    """A one-screen human-readable run summary."""
+    row = result.row()
+    fct = result.fct_summary()
+    lines = [
+        "run summary",
+        "-----------",
+        f"simulated time     : {row['sim_time_s']} s",
+        f"wall time          : {row['wall_time_s']} s "
+        f"({row['events_per_s']} events/s)",
+        f"events             : {row['events']}",
+        f"flows              : {row['flows']} "
+        f"({row['completed']} completed, "
+        f"{row['delivered_frac']:.1%} delivered)",
+        f"rules installed    : {row['rules']}",
+        f"aggregate goodput  : {row['goodput_gbps']} Gb/s",
+        f"fairness (Jain)    : {result.fairness():.3f}",
+        f"FCT mean/p99       : {fct['mean']:.4g} s / {fct['p99']:.4g} s",
+    ]
+    if result.notes:
+        lines.append("notes              : " + "; ".join(result.notes))
+    return "\n".join(lines)

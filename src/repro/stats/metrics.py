@@ -1,0 +1,94 @@
+"""Summary metrics: fairness, errors, percentiles, comparisons.
+
+The accuracy experiment (E3) quantifies how close flow-level statistics
+come to packet-level ground truth; these helpers define the comparison
+metrics used throughout the benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+
+def jain_fairness(rates: Sequence[float]) -> float:
+    """Jain's fairness index in (0, 1]; 1 means perfectly equal.
+
+    Examples
+    --------
+    >>> jain_fairness([5, 5, 5])
+    1.0
+    >>> round(jain_fairness([10, 0, 0]), 3)
+    0.333
+    """
+    values = np.asarray(list(rates), dtype=float)
+    if values.size == 0:
+        return 1.0
+    denom = values.size * float(np.sum(values**2))
+    if denom == 0:
+        return 1.0
+    return float(np.sum(values)) ** 2 / denom
+
+
+def relative_error(measured: float, reference: float) -> float:
+    """|measured - reference| / reference (0 when both are ~zero)."""
+    if abs(reference) < 1e-12:
+        return 0.0 if abs(measured) < 1e-12 else float("inf")
+    return abs(measured - reference) / abs(reference)
+
+
+def mean_relative_error(
+    measured: Mapping, reference: Mapping, keys: Sequence = None
+) -> float:
+    """Mean relative error over shared (or given) keys."""
+    if keys is None:
+        keys = sorted(set(measured) & set(reference))
+    if not keys:
+        return 0.0
+    errors = [relative_error(measured[k], reference[k]) for k in keys]
+    finite = [e for e in errors if e != float("inf")]
+    return float(np.mean(finite)) if finite else float("inf")
+
+
+def rmse(measured: Sequence[float], reference: Sequence[float]) -> float:
+    """Root-mean-square error between paired samples."""
+    a = np.asarray(list(measured), dtype=float)
+    b = np.asarray(list(reference), dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if a.size == 0:
+        return 0.0
+    return float(np.sqrt(np.mean((a - b) ** 2)))
+
+
+def percentiles(
+    values: Sequence[float], qs: Sequence[float] = (50, 90, 99)
+) -> Dict[float, float]:
+    """Selected percentiles as a dict."""
+    if not values:
+        return {q: 0.0 for q in qs}
+    arr = np.asarray(list(values), dtype=float)
+    return {q: float(np.percentile(arr, q)) for q in qs}
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """count/mean/p50/p90/p99/max for a sample."""
+    if not values:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+    arr = np.asarray(list(values), dtype=float)
+    return {
+        "count": int(arr.size),
+        "mean": float(np.mean(arr)),
+        "p50": float(np.percentile(arr, 50)),
+        "p90": float(np.percentile(arr, 90)),
+        "p99": float(np.percentile(arr, 99)),
+        "max": float(np.max(arr)),
+    }
+
+
+def speedup(baseline_s: float, measured_s: float) -> float:
+    """baseline / measured (how many times faster measured is)."""
+    if measured_s <= 0:
+        return float("inf")
+    return baseline_s / measured_s

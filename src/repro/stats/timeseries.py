@@ -1,0 +1,110 @@
+"""Simple time series storage with resampling."""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class TimeSeries:
+    """An append-only (time, value) series.
+
+    Times must be non-decreasing (enforced), matching simulation order.
+
+    Examples
+    --------
+    >>> ts = TimeSeries("util")
+    >>> ts.append(0.0, 0.1); ts.append(1.0, 0.3)
+    >>> ts.mean()
+    0.2
+    """
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.times: List[float] = []
+        self.values: List[float] = []
+
+    def append(self, time: float, value: float) -> None:
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"time went backwards in series {self.name!r}: "
+                f"{time} < {self.times[-1]}"
+            )
+        self.times.append(float(time))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.values))
+
+    # ------------------------------------------------------------------
+    def to_numpy(self) -> Tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self.times), np.asarray(self.values)
+
+    def value_at(self, time: float) -> Optional[float]:
+        """Last value at or before ``time`` (step interpolation)."""
+        index = bisect.bisect_right(self.times, time) - 1
+        if index < 0:
+            return None
+        return self.values[index]
+
+    def window(self, start: float, end: float) -> "TimeSeries":
+        """Points with start <= t < end."""
+        out = TimeSeries(self.name)
+        lo = bisect.bisect_left(self.times, start)
+        hi = bisect.bisect_left(self.times, end)
+        out.times = self.times[lo:hi]
+        out.values = self.values[lo:hi]
+        return out
+
+    def resample(self, interval: float, end: Optional[float] = None) -> "TimeSeries":
+        """Step-resample onto a regular grid (last-value-holds)."""
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        out = TimeSeries(self.name)
+        if not self.times:
+            return out
+        stop = end if end is not None else self.times[-1]
+        t = self.times[0]
+        while t <= stop:
+            value = self.value_at(t)
+            if value is not None:
+                out.append(t, value)
+            t += interval
+        return out
+
+    # ------------------------------------------------------------------
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if self.values else 0.0
+
+    def maximum(self) -> float:
+        return float(np.max(self.values)) if self.values else 0.0
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.values, q)) if self.values else 0.0
+
+    def time_weighted_mean(self, until: Optional[float] = None) -> float:
+        """Mean weighting each value by how long it held."""
+        if not self.times:
+            return 0.0
+        times = list(self.times)
+        values = list(self.values)
+        end = until if until is not None else times[-1]
+        total = 0.0
+        duration = 0.0
+        for i, value in enumerate(values):
+            t0 = times[i]
+            t1 = times[i + 1] if i + 1 < len(times) else end
+            dt = max(0.0, t1 - t0)
+            total += value * dt
+            duration += dt
+        return total / duration if duration > 0 else values[-1]
+
+    def __repr__(self) -> str:
+        return f"<TimeSeries {self.name!r} n={len(self)}>"

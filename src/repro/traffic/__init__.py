@@ -1,0 +1,52 @@
+"""Traffic: distributions, matrices, flow generation, replay, IXP traces."""
+
+from .distributions import (
+    BoundedPareto,
+    Constant,
+    Empirical,
+    Exponential,
+    LogNormal,
+    MiceElephants,
+    Sampler,
+    Uniform,
+    weighted_choice,
+    zipf_weights,
+)
+from .flowgen import DEFAULT_APP_MIX, FlowGenConfig, FlowGenerator
+from .ixp_trace import IxpTraceSynthesizer, ixp_gravity_matrix
+from .matrix import TrafficMatrix
+from .replay import Epoch, TrafficReplay, diurnal_profile
+from .trace_io import (
+    flow_from_record,
+    flow_to_record,
+    iter_trace,
+    load_trace,
+    save_trace,
+)
+
+__all__ = [
+    "BoundedPareto",
+    "Constant",
+    "DEFAULT_APP_MIX",
+    "Empirical",
+    "Epoch",
+    "Exponential",
+    "FlowGenConfig",
+    "FlowGenerator",
+    "IxpTraceSynthesizer",
+    "LogNormal",
+    "MiceElephants",
+    "Sampler",
+    "TrafficMatrix",
+    "TrafficReplay",
+    "Uniform",
+    "diurnal_profile",
+    "flow_from_record",
+    "flow_to_record",
+    "iter_trace",
+    "ixp_gravity_matrix",
+    "load_trace",
+    "save_trace",
+    "weighted_choice",
+    "zipf_weights",
+]

@@ -1,0 +1,205 @@
+"""Samplers for arrival processes and flow sizes.
+
+Everything draws from a named stream of a
+:class:`~repro.sim.rng.RngRegistry`, so traffic is reproducible and
+independent of other stochastic components.  The heavy-tailed flow-size
+mix (mice and elephants) follows the shape reported in IXP/datacenter
+measurement studies: most flows are small, most bytes live in a few
+large flows.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from typing import List, Sequence, Tuple
+
+from ..errors import TrafficError
+
+
+class Sampler:
+    """Base class: a callable drawing one positive float per call."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+
+    def sample(self) -> float:
+        raise NotImplementedError
+
+    def __call__(self) -> float:
+        return self.sample()
+
+
+class Constant(Sampler):
+    """Always the same value."""
+
+    def __init__(self, rng: random.Random, value: float) -> None:
+        super().__init__(rng)
+        if value <= 0:
+            raise TrafficError(f"constant must be > 0, got {value}")
+        self.value = float(value)
+
+    def sample(self) -> float:
+        return self.value
+
+
+class Uniform(Sampler):
+    """Uniform on [low, high]."""
+
+    def __init__(self, rng: random.Random, low: float, high: float) -> None:
+        super().__init__(rng)
+        if not 0 < low <= high:
+            raise TrafficError(f"need 0 < low <= high, got [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self) -> float:
+        return self.rng.uniform(self.low, self.high)
+
+
+class Exponential(Sampler):
+    """Exponential with the given mean (inter-arrival times)."""
+
+    def __init__(self, rng: random.Random, mean: float) -> None:
+        super().__init__(rng)
+        if mean <= 0:
+            raise TrafficError(f"mean must be > 0, got {mean}")
+        self.mean = mean
+
+    def sample(self) -> float:
+        return self.rng.expovariate(1.0 / self.mean)
+
+
+class LogNormal(Sampler):
+    """Log-normal parameterized by its (linear-scale) mean and sigma."""
+
+    def __init__(self, rng: random.Random, mean: float, sigma: float = 1.0) -> None:
+        super().__init__(rng)
+        if mean <= 0 or sigma <= 0:
+            raise TrafficError(f"need mean, sigma > 0; got {mean}, {sigma}")
+        # E[X] = exp(mu + sigma^2/2)  =>  mu = ln(mean) - sigma^2/2
+        self.mu = math.log(mean) - sigma * sigma / 2.0
+        self.sigma = sigma
+
+    def sample(self) -> float:
+        return self.rng.lognormvariate(self.mu, self.sigma)
+
+
+class BoundedPareto(Sampler):
+    """Pareto truncated to [minimum, maximum] (elephant flow tails)."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        alpha: float,
+        minimum: float,
+        maximum: float,
+    ) -> None:
+        super().__init__(rng)
+        if alpha <= 0:
+            raise TrafficError(f"alpha must be > 0, got {alpha}")
+        if not 0 < minimum < maximum:
+            raise TrafficError(f"need 0 < min < max, got [{minimum}, {maximum}]")
+        self.alpha = alpha
+        self.minimum = minimum
+        self.maximum = maximum
+
+    def sample(self) -> float:
+        # Inverse-CDF sampling of the bounded Pareto.
+        u = self.rng.random()
+        a, l, h = self.alpha, self.minimum, self.maximum
+        ha = h**-a
+        la = l**-a
+        return (-(u * ha - u * la - ha)) ** (-1.0 / a)
+
+
+class Empirical(Sampler):
+    """Inverse-CDF sampling from (value, cumulative_probability) points.
+
+    Points must be sorted by probability, ending at probability 1.0.
+    Values between points are linearly interpolated.
+    """
+
+    def __init__(
+        self, rng: random.Random, points: Sequence[Tuple[float, float]]
+    ) -> None:
+        super().__init__(rng)
+        if not points:
+            raise TrafficError("empirical CDF needs at least one point")
+        probs = [p for _, p in points]
+        if probs != sorted(probs) or abs(probs[-1] - 1.0) > 1e-9:
+            raise TrafficError("CDF probabilities must be sorted and end at 1.0")
+        self.values = [v for v, _ in points]
+        self.probs = probs
+
+    def sample(self) -> float:
+        u = self.rng.random()
+        index = bisect.bisect_left(self.probs, u)
+        if index == 0:
+            return self.values[0]
+        # Interpolate between the surrounding points.
+        p0, p1 = self.probs[index - 1], self.probs[index]
+        v0, v1 = self.values[index - 1], self.values[index]
+        if p1 == p0:
+            return v1
+        frac = (u - p0) / (p1 - p0)
+        return v0 + frac * (v1 - v0)
+
+
+class MiceElephants(Sampler):
+    """The canonical bimodal flow-size mix.
+
+    ``mice_fraction`` of flows are small (log-normal around
+    ``mice_mean_bytes``); the rest are heavy (bounded Pareto up to
+    ``elephant_max_bytes``).  Defaults follow common measurement
+    shapes: 80%% mice around 20 KB, elephants 1 MB–1 GB, alpha 1.2.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        mice_fraction: float = 0.8,
+        mice_mean_bytes: float = 20e3,
+        elephant_min_bytes: float = 1e6,
+        elephant_max_bytes: float = 1e9,
+        alpha: float = 1.2,
+    ) -> None:
+        super().__init__(rng)
+        if not 0 <= mice_fraction <= 1:
+            raise TrafficError(f"mice_fraction must be in [0,1], got {mice_fraction}")
+        self.mice_fraction = mice_fraction
+        self.mice = LogNormal(rng, mice_mean_bytes, sigma=1.0)
+        self.elephants = BoundedPareto(
+            rng, alpha, elephant_min_bytes, elephant_max_bytes
+        )
+
+    def sample(self) -> float:
+        if self.rng.random() < self.mice_fraction:
+            return max(64.0, self.mice.sample())
+        return self.elephants.sample()
+
+
+def weighted_choice(rng: random.Random, items: Sequence, weights: Sequence[float]):
+    """Pick one item with probability proportional to its weight."""
+    if len(items) != len(weights) or not items:
+        raise TrafficError("items and weights must be equal-length and non-empty")
+    total = float(sum(weights))
+    if total <= 0:
+        raise TrafficError("weights must sum to > 0")
+    point = rng.random() * total
+    cumulative = 0.0
+    for item, weight in zip(items, weights):
+        cumulative += weight
+        if point < cumulative:
+            return item
+    return items[-1]
+
+
+def zipf_weights(n: int, exponent: float = 1.0) -> List[float]:
+    """Zipf-like weights 1/k^s for k=1..n, normalized to sum to 1."""
+    if n < 1:
+        raise TrafficError(f"need n >= 1, got {n}")
+    raw = [1.0 / (k**exponent) for k in range(1, n + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]

@@ -1,0 +1,216 @@
+"""Flow generation from traffic matrices.
+
+Turns a :class:`~repro.traffic.matrix.TrafficMatrix` into a schedule of
+:class:`~repro.flowsim.flow.Flow` objects: per pair, flows arrive as a
+Poisson process whose rate matches the pair's offered load given the
+flow-size distribution (λ = demand / (mean_size · 8)); each flow's
+header tuple carries the real host addresses plus sampled application
+ports, so application-based policies see realistic fields.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import TrafficError
+from ..flowsim.flow import Flow
+from ..net.topology import Topology
+from ..openflow.headers import AppPort, EthType, HeaderFields, IpProto
+from .distributions import MiceElephants, Sampler, weighted_choice
+from .matrix import TrafficMatrix
+
+#: Default application mix (dst-port, weight): mostly web, per IXP lore.
+DEFAULT_APP_MIX: Tuple[Tuple[int, float], ...] = (
+    (AppPort.HTTPS, 0.45),
+    (AppPort.HTTP, 0.30),
+    (AppPort.RTMP, 0.15),
+    (AppPort.DNS, 0.05),
+    (AppPort.SSH, 0.05),
+)
+
+
+@dataclass
+class FlowGenConfig:
+    """Knobs for :class:`FlowGenerator`.
+
+    Attributes
+    ----------
+    mean_flow_bytes:
+        Used to derive per-pair arrival rates from offered bps.  Must be
+        consistent with ``size_sampler`` when one is given (the default
+        sampler is calibrated to ~this mean).
+    demand_factor:
+        A flow's demand (peak rate) = pair demand × factor, bounded to
+        [min_demand_bps, max_demand_bps]: flows can burst above the
+        average pair rate, like real sources.
+    udp_fraction:
+        Fraction of flows that are inelastic (CBR).
+    app_weights:
+        Optional QoS class weights by destination port: flows of that
+        application get the weight for weighted max-min sharing (e.g.
+        ``{AppPort.RTMP: 4.0}`` prioritizes streaming 4:1).
+    """
+
+    mean_flow_bytes: float = 200e3
+    demand_factor: float = 4.0
+    min_demand_bps: float = 1e6
+    max_demand_bps: float = 10e9
+    udp_fraction: float = 0.1
+    app_mix: Tuple[Tuple[int, float], ...] = DEFAULT_APP_MIX
+    app_weights: Optional[Dict[int, float]] = None
+
+
+class FlowGenerator:
+    """Generate flow schedules from a matrix over a topology.
+
+    Examples
+    --------
+    gen = FlowGenerator(topology, rng)
+    flows = gen.from_matrix(tm, horizon_s=10.0)
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        rng: random.Random,
+        config: Optional[FlowGenConfig] = None,
+        size_sampler: Optional[Sampler] = None,
+    ) -> None:
+        self.topology = topology
+        self.rng = rng
+        self.config = config or FlowGenConfig()
+        self.size_sampler = size_sampler or MiceElephants(
+            rng,
+            mice_mean_bytes=self.config.mean_flow_bytes / 10.0,
+            elephant_min_bytes=self.config.mean_flow_bytes,
+            elephant_max_bytes=self.config.mean_flow_bytes * 1000.0,
+        )
+        self._ephemeral = 49152
+
+    # ------------------------------------------------------------------
+    def from_matrix(
+        self,
+        matrix: TrafficMatrix,
+        horizon_s: float,
+        start_s: float = 0.0,
+    ) -> List[Flow]:
+        """Poisson flow arrivals realizing the matrix over a horizon."""
+        if horizon_s <= 0:
+            raise TrafficError(f"horizon must be > 0, got {horizon_s}")
+        flows: List[Flow] = []
+        for (src, dst), demand_bps in matrix.pairs():
+            flows.extend(
+                self._pair_flows(src, dst, demand_bps, start_s, horizon_s)
+            )
+        flows.sort(key=lambda f: f.start_time)
+        return flows
+
+    def constant_rate_flows(
+        self,
+        matrix: TrafficMatrix,
+        duration_s: float,
+        start_s: float = 0.0,
+    ) -> List[Flow]:
+        """One continuous flow per pair at exactly the pair demand.
+
+        The deterministic alternative to Poisson sampling: useful for
+        accuracy experiments where both engines must see identical,
+        steady offered load.
+        """
+        flows = []
+        for (src, dst), demand_bps in matrix.pairs():
+            flows.append(
+                self._make_flow(
+                    src,
+                    dst,
+                    start=start_s,
+                    demand_bps=demand_bps,
+                    size_bytes=None,
+                    duration_s=duration_s,
+                    elastic=True,
+                )
+            )
+        return flows
+
+    def _pair_flows(
+        self, src: str, dst: str, demand_bps: float, start: float, horizon: float
+    ) -> List[Flow]:
+        config = self.config
+        mean_size_bits = config.mean_flow_bytes * 8.0
+        arrival_rate = demand_bps / mean_size_bits  # flows per second
+        if arrival_rate <= 0:
+            return []
+        flows: List[Flow] = []
+        t = start + self.rng.expovariate(arrival_rate)
+        end = start + horizon
+        while t < end:
+            size = max(64, int(self.size_sampler.sample()))
+            demand = min(
+                max(demand_bps * config.demand_factor, config.min_demand_bps),
+                config.max_demand_bps,
+            )
+            elastic = self.rng.random() >= config.udp_fraction
+            flows.append(
+                self._make_flow(
+                    src,
+                    dst,
+                    start=t,
+                    demand_bps=demand,
+                    size_bytes=size,
+                    duration_s=None,
+                    elastic=elastic,
+                )
+            )
+            t += self.rng.expovariate(arrival_rate)
+        return flows
+
+    # ------------------------------------------------------------------
+    def _make_flow(
+        self,
+        src: str,
+        dst: str,
+        start: float,
+        demand_bps: float,
+        size_bytes: Optional[int],
+        duration_s: Optional[float],
+        elastic: bool,
+    ) -> Flow:
+        src_host = self.topology.host(src)
+        dst_host = self.topology.host(dst)
+        apps, weights = zip(*self.config.app_mix)
+        dst_port = weighted_choice(self.rng, list(apps), list(weights))
+        src_port = self._next_ephemeral()
+        proto = IpProto.TCP if elastic else IpProto.UDP
+        headers = HeaderFields(
+            eth_src=src_host.mac,
+            eth_dst=dst_host.mac,
+            eth_type=EthType.IPV4,
+            ip_src=src_host.ip,
+            ip_dst=dst_host.ip,
+            ip_proto=proto,
+            tp_src=src_port,
+            tp_dst=dst_port,
+        )
+        weight = 1.0
+        if self.config.app_weights:
+            weight = self.config.app_weights.get(dst_port, 1.0)
+        return Flow(
+            headers=headers,
+            src=src,
+            dst=dst,
+            demand_bps=demand_bps,
+            size_bytes=size_bytes,
+            duration_s=duration_s,
+            start_time=start,
+            elastic=elastic,
+            weight=weight,
+        )
+
+    def _next_ephemeral(self) -> int:
+        port = self._ephemeral
+        self._ephemeral += 1
+        if self._ephemeral > 65535:
+            self._ephemeral = 49152
+        return port

@@ -1,0 +1,136 @@
+"""Synthetic IXP traffic traces.
+
+The paper evaluates Horse "using real data from the IXP itself"; that
+data is proprietary, so this module synthesizes traces with the same
+statistical structure (the substitution documented in DESIGN.md):
+
+* **gravity** pair demands from skewed member weights,
+* **role asymmetry** — content members source toward eyeballs,
+* **peering filtering** through the route server,
+* **diurnal modulation** across replay epochs,
+* **heavy-tailed flow sizes** with a web-dominated application mix.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import TrafficError
+from ..flowsim.flow import Flow
+from ..ixp.fabric import IxpFabric
+from .flowgen import FlowGenConfig, FlowGenerator
+from .matrix import TrafficMatrix
+from .replay import TrafficReplay
+
+#: Demand multiplier by (src kind, dst kind): content pushes to
+#: eyeballs, little eyeball-to-eyeball traffic.
+ROLE_FACTORS: Dict[Tuple[str, str], float] = {
+    ("content", "eyeball"): 4.0,
+    ("content", "transit"): 1.5,
+    ("content", "content"): 0.5,
+    ("eyeball", "content"): 0.5,
+    ("eyeball", "eyeball"): 0.2,
+    ("eyeball", "transit"): 0.5,
+    ("transit", "eyeball"): 1.5,
+    ("transit", "content"): 0.8,
+    ("transit", "transit"): 1.0,
+}
+
+
+def ixp_gravity_matrix(
+    fabric: IxpFabric,
+    total_bps: float,
+    respect_peering: bool = True,
+) -> TrafficMatrix:
+    """Gravity matrix over member routers with role asymmetry.
+
+    demand(a→b) ∝ weight(a) · weight(b) · role_factor(kind_a, kind_b),
+    normalized to ``total_bps``, restricted to pairs the route server
+    allows when ``respect_peering``.
+    """
+    if total_bps <= 0:
+        raise TrafficError(f"total_bps must be > 0, got {total_bps}")
+    members = fabric.members
+    allowed = fabric.route_server.peering_matrix() if respect_peering else None
+    raw: Dict[Tuple[str, str], float] = {}
+    for a in members:
+        for b in members:
+            if a.asn == b.asn:
+                continue
+            pair = (a.host_name, b.host_name)
+            if allowed is not None and not allowed.get(pair, False):
+                continue
+            factor = ROLE_FACTORS.get((a.kind, b.kind), 1.0)
+            raw[pair] = a.weight * b.weight * factor
+    total_raw = sum(raw.values())
+    if total_raw <= 0:
+        raise TrafficError("no permitted member pairs (peering too restrictive?)")
+    return TrafficMatrix(
+        {pair: total_bps * v / total_raw for pair, v in raw.items()}
+    )
+
+
+class IxpTraceSynthesizer:
+    """Generate replayable IXP traces.
+
+    Parameters
+    ----------
+    fabric:
+        The built IXP.
+    peak_total_bps:
+        Fabric-wide offered load at the diurnal peak.
+    flow_config:
+        Flow-size / app-mix knobs (see :class:`FlowGenConfig`).
+
+    Examples
+    --------
+    synth = IxpTraceSynthesizer(fabric, peak_total_bps=200e9)
+    flows = synth.trace(rng, epochs=24, epoch_duration_s=10.0)
+    """
+
+    def __init__(
+        self,
+        fabric: IxpFabric,
+        peak_total_bps: float,
+        flow_config: Optional[FlowGenConfig] = None,
+    ) -> None:
+        self.fabric = fabric
+        self.peak_matrix = ixp_gravity_matrix(fabric, peak_total_bps)
+        self.flow_config = flow_config or FlowGenConfig()
+
+    def replay(
+        self, epochs: int = 24, epoch_duration_s: float = 10.0
+    ) -> TrafficReplay:
+        """The diurnal replay schedule over the peak matrix."""
+        return TrafficReplay(
+            self.peak_matrix,
+            epochs=epochs,
+            epoch_duration_s=epoch_duration_s,
+        )
+
+    def trace(
+        self,
+        rng: random.Random,
+        epochs: int = 24,
+        epoch_duration_s: float = 10.0,
+    ) -> List[Flow]:
+        """A full Poisson flow trace across the diurnal cycle."""
+        return self.replay(epochs, epoch_duration_s).generate_flows(
+            self.fabric.topology, rng, config=self.flow_config
+        )
+
+    def steady_flows(
+        self,
+        rng: random.Random,
+        duration_s: float,
+        load_fraction: float = 1.0,
+    ) -> List[Flow]:
+        """Steady offered load at ``load_fraction`` of peak for
+        ``duration_s`` — the workload for scaling experiments."""
+        generator = FlowGenerator(
+            self.fabric.topology, rng, config=self.flow_config
+        )
+        return generator.from_matrix(
+            self.peak_matrix.scaled(load_fraction), horizon_s=duration_s
+        )

@@ -1,0 +1,66 @@
+"""Shared fixtures: small topologies with attached pipelines."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.net.generators import fat_tree, linear, single_switch
+from repro.openflow import ApplyActions, Match, Output, attach_pipeline
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def rng():
+    return random.Random(12345)
+
+
+@pytest.fixture
+def line2():
+    """h1 - s1 - s2 - h2, 10 Mbps links, pipelines attached."""
+    topo = linear(2, hosts_per_switch=1, capacity_bps=10e6)
+    for switch in topo.switches:
+        attach_pipeline(switch, num_tables=2)
+    return topo
+
+
+@pytest.fixture
+def star4():
+    """4 hosts on one switch, 100 Mbps links."""
+    topo = single_switch(4, capacity_bps=100e6)
+    attach_pipeline(topo.switch("s1"), num_tables=2)
+    return topo
+
+
+@pytest.fixture
+def fattree4():
+    """k=4 fat-tree with pipelines."""
+    topo = fat_tree(4)
+    for switch in topo.switches:
+        attach_pipeline(switch, num_tables=2)
+    return topo
+
+
+def install_ip_path(topo, src: str, dst: str, priority: int = 10) -> None:
+    """Install static ip_dst rules along the shortest path src->dst."""
+    path = topo.shortest_path(src, dst)
+    dst_host = topo.host(dst)
+    for i in range(1, len(path) - 1):
+        switch = path[i]
+        out = topo.egress_port(switch, path[i + 1])
+        switch.pipeline.install(
+            Match(ip_dst=dst_host.ip),
+            (ApplyActions((Output(out.number),)),),
+            priority=priority,
+        )
+
+
+@pytest.fixture
+def install_path():
+    return install_ip_path

@@ -1,0 +1,149 @@
+"""Address type tests: MAC, IPv4, prefixes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AddressError
+from repro.net import (
+    IPv4Address,
+    IPv4Network,
+    MacAddress,
+    ip_from_index,
+    mac_from_index,
+)
+
+
+class TestMacAddress:
+    def test_parse_and_str_roundtrip(self):
+        mac = MacAddress("aa:bb:cc:dd:ee:ff")
+        assert str(mac) == "aa:bb:cc:dd:ee:ff"
+        assert int(mac) == 0xAABBCCDDEEFF
+
+    def test_dash_separator_accepted(self):
+        assert MacAddress("aa-bb-cc-dd-ee-ff") == MacAddress("aa:bb:cc:dd:ee:ff")
+
+    def test_from_int(self):
+        assert str(MacAddress(1)) == "00:00:00:00:00:01"
+
+    def test_equality_with_string_and_int(self):
+        mac = MacAddress(42)
+        assert mac == 42
+        assert mac == "00:00:00:00:00:2a"
+        assert mac != 43
+
+    def test_broadcast_and_multicast(self):
+        assert MacAddress.broadcast().is_broadcast
+        assert MacAddress.broadcast().is_multicast
+        assert MacAddress("01:00:5e:00:00:01").is_multicast
+        assert not MacAddress("00:00:5e:00:00:01").is_multicast
+
+    def test_hashable_and_ordered(self):
+        macs = {MacAddress(1), MacAddress(1), MacAddress(2)}
+        assert len(macs) == 2
+        assert MacAddress(1) < MacAddress(2)
+
+    @pytest.mark.parametrize(
+        "bad", ["", "aa:bb", "gg:bb:cc:dd:ee:ff", "aa:bb:cc:dd:ee:ff:00"]
+    )
+    def test_invalid_strings(self, bad):
+        with pytest.raises(AddressError):
+            MacAddress(bad)
+
+    def test_out_of_range_int(self):
+        with pytest.raises(AddressError):
+            MacAddress(1 << 48)
+        with pytest.raises(AddressError):
+            MacAddress(-1)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_property_roundtrip(self, value):
+        assert int(MacAddress(str(MacAddress(value)))) == value
+
+
+class TestIPv4Address:
+    def test_parse_and_str_roundtrip(self):
+        addr = IPv4Address("192.168.1.200")
+        assert str(addr) == "192.168.1.200"
+        assert int(addr) == (192 << 24) | (168 << 16) | (1 << 8) | 200
+
+    def test_arithmetic(self):
+        assert IPv4Address("10.0.0.1") + 1 == IPv4Address("10.0.0.2")
+
+    @pytest.mark.parametrize("bad", ["", "1.2.3", "1.2.3.256", "a.b.c.d", "1.2.3.4.5"])
+    def test_invalid_strings(self, bad):
+        with pytest.raises(AddressError):
+            IPv4Address(bad)
+
+    def test_out_of_range_int(self):
+        with pytest.raises(AddressError):
+            IPv4Address(1 << 32)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_property_roundtrip(self, value):
+        assert int(IPv4Address(str(IPv4Address(value)))) == value
+
+
+class TestIPv4Network:
+    def test_parse_normalizes_to_network_address(self):
+        net = IPv4Network("10.1.2.3/24")
+        assert str(net) == "10.1.2.0/24"
+        assert net.num_addresses == 256
+
+    def test_contains(self):
+        net = IPv4Network("10.0.0.0/8")
+        assert net.contains("10.255.255.255")
+        assert IPv4Address("10.0.0.1") in net
+        assert not net.contains("11.0.0.0")
+
+    def test_slash_32_contains_only_itself(self):
+        net = IPv4Network("10.0.0.5/32")
+        assert net.contains("10.0.0.5")
+        assert not net.contains("10.0.0.6")
+
+    def test_slash_zero_contains_everything(self):
+        net = IPv4Network("0.0.0.0/0")
+        assert net.contains("255.255.255.255")
+
+    def test_hosts_skips_network_and_broadcast(self):
+        hosts = list(IPv4Network("10.0.0.0/30").hosts())
+        assert [str(h) for h in hosts] == ["10.0.0.1", "10.0.0.2"]
+
+    def test_hosts_slash_31(self):
+        assert len(list(IPv4Network("10.0.0.0/31").hosts())) == 2
+
+    def test_tuple_constructor(self):
+        assert IPv4Network(("10.0.0.0", 16)) == IPv4Network("10.0.0.0/16")
+
+    @pytest.mark.parametrize("bad", ["10.0.0.0", "10.0.0.0/33", "10.0.0.0/x"])
+    def test_invalid(self, bad):
+        with pytest.raises(AddressError):
+            IPv4Network(bad)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=(1 << 32) - 1),
+        st.integers(min_value=0, max_value=32),
+    )
+    def test_property_network_contains_its_base(self, value, prefix_len):
+        net = IPv4Network((value, prefix_len))
+        assert net.contains(net.network)
+
+
+class TestDeterministicAllocation:
+    def test_mac_from_index_unique_and_local(self):
+        macs = [mac_from_index(i) for i in range(100)]
+        assert len(set(macs)) == 100
+        assert all((int(m) >> 40) & 0x02 for m in macs)
+
+    def test_ip_from_index(self):
+        assert str(ip_from_index(0)) == "10.0.0.1"
+        assert str(ip_from_index(255)) == "10.0.1.0"
+
+    def test_allocation_bounds(self):
+        with pytest.raises(AddressError):
+            mac_from_index(-1)
+        with pytest.raises(AddressError):
+            ip_from_index(1 << 32)

@@ -1,0 +1,241 @@
+"""Control channel tests: southbound application, stats, errors, latency."""
+
+import pytest
+
+from repro.control import ControlChannel, Controller
+from repro.errors import UnknownDatapathError
+from repro.net import IPv4Address
+from repro.openflow import (
+    ApplyActions,
+    Bucket,
+    DropBand,
+    GroupType,
+    Match,
+    Output,
+)
+from repro.openflow.messages import (
+    BarrierReply,
+    BarrierRequest,
+    ErrorMsg,
+    FlowMod,
+    FlowModCommand,
+    FlowStatsRequest,
+    GroupMod,
+    GroupModCommand,
+    MeterMod,
+    MeterModCommand,
+    PortStatsRequest,
+    TableStatsRequest,
+)
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def wired(line2):
+    sim = Simulator()
+    controller = Controller()
+    channel = ControlChannel(sim, line2, controller=controller)
+    return sim, line2, controller, channel
+
+
+def add_mod(dpid, priority=1, **match_fields):
+    return FlowMod(
+        dpid=dpid,
+        command=FlowModCommand.ADD,
+        match=Match(**match_fields),
+        priority=priority,
+        instructions=(ApplyActions((Output(1),)),),
+    )
+
+
+class TestFlowMods:
+    def test_add_installs_entry(self, wired):
+        _, topo, _, channel = wired
+        dpid = topo.switch("s1").dpid
+        channel.send(add_mod(dpid))
+        assert topo.switch("s1").pipeline.total_entries == 1
+        assert channel.stats["flow_mods"] == 1
+
+    def test_delete_emits_flow_removed(self, wired):
+        _, topo, controller, channel = wired
+        dpid = topo.switch("s1").dpid
+        channel.send(add_mod(dpid))
+        channel.send(
+            FlowMod(dpid=dpid, command=FlowModCommand.DELETE, match=Match())
+        )
+        assert topo.switch("s1").pipeline.total_entries == 0
+        assert controller.stats["flow_removed"] == 1
+
+    def test_modify_strict(self, wired):
+        _, topo, _, channel = wired
+        dpid = topo.switch("s1").dpid
+        channel.send(add_mod(dpid, priority=5))
+        channel.send(
+            FlowMod(
+                dpid=dpid,
+                command=FlowModCommand.MODIFY_STRICT,
+                match=Match(),
+                priority=5,
+                instructions=(ApplyActions((Output(2),)),),
+            )
+        )
+        entry = topo.switch("s1").pipeline.table(0).entries[0]
+        assert entry.instructions[0].actions[0].port == 2
+
+    def test_unknown_dpid_returns_error_message(self, wired):
+        _, _, controller, channel = wired
+        reply = channel.send(add_mod(dpid=999))
+        assert isinstance(reply, ErrorMsg)
+        assert controller.stats["errors"] == 1
+        assert channel.stats["errors"] == 1
+
+    def test_bad_table_returns_error(self, wired):
+        _, topo, _, channel = wired
+        dpid = topo.switch("s1").dpid
+        mod = add_mod(dpid)
+        mod.table_id = 99
+        reply = channel.send(mod)
+        assert isinstance(reply, ErrorMsg)
+
+
+class TestGroupAndMeterMods:
+    def test_group_lifecycle(self, wired):
+        _, topo, _, channel = wired
+        dpid = topo.switch("s1").dpid
+        channel.send(
+            GroupMod(
+                dpid=dpid,
+                command=GroupModCommand.ADD,
+                group_id=1,
+                group_type=GroupType.SELECT,
+                buckets=(Bucket((Output(1),)),),
+            )
+        )
+        pipeline = topo.switch("s1").pipeline
+        assert 1 in pipeline.groups
+        channel.send(
+            GroupMod(
+                dpid=dpid,
+                command=GroupModCommand.MODIFY,
+                group_id=1,
+                group_type=GroupType.ALL,
+                buckets=(Bucket((Output(2),)),),
+            )
+        )
+        assert pipeline.groups.get(1).group_type is GroupType.ALL
+        channel.send(
+            GroupMod(dpid=dpid, command=GroupModCommand.DELETE, group_id=1)
+        )
+        assert 1 not in pipeline.groups
+
+    def test_meter_lifecycle(self, wired):
+        _, topo, _, channel = wired
+        dpid = topo.switch("s1").dpid
+        channel.send(
+            MeterMod(
+                dpid=dpid,
+                command=MeterModCommand.ADD,
+                meter_id=2,
+                bands=(DropBand(rate_bps=1e6),),
+            )
+        )
+        pipeline = topo.switch("s1").pipeline
+        assert pipeline.meters.get(2).rate_bps == 1e6
+        channel.send(
+            MeterMod(
+                dpid=dpid,
+                command=MeterModCommand.MODIFY,
+                meter_id=2,
+                bands=(DropBand(rate_bps=2e6),),
+            )
+        )
+        assert pipeline.meters.get(2).rate_bps == 2e6
+        channel.send(
+            MeterMod(dpid=dpid, command=MeterModCommand.DELETE, meter_id=2)
+        )
+        assert len(pipeline.meters) == 0
+
+
+class TestStatsAndBarrier:
+    def test_port_stats_reply(self, wired):
+        _, topo, _, channel = wired
+        dpid = topo.switch("s1").dpid
+        reply = channel.send(PortStatsRequest(dpid=dpid))
+        assert len(reply.stats) == len(topo.switch("s1").ports)
+        single = channel.send(PortStatsRequest(dpid=dpid, port_no=1))
+        assert len(single.stats) == 1
+
+    def test_flow_stats_filtering(self, wired):
+        _, topo, _, channel = wired
+        dpid = topo.switch("s1").dpid
+        mod = add_mod(dpid, ip_dst=IPv4Address("10.0.0.1"))
+        mod.cookie = 7
+        channel.send(mod)
+        channel.send(add_mod(dpid, priority=2, ip_dst=IPv4Address("11.0.0.1")))
+        by_cookie = channel.send(FlowStatsRequest(dpid=dpid, cookie=7))
+        assert len(by_cookie.stats) == 1
+        from repro.net import IPv4Network
+
+        by_match = channel.send(
+            FlowStatsRequest(dpid=dpid, match=Match(ip_dst=IPv4Network("10.0.0.0/8")))
+        )
+        assert len(by_match.stats) == 1
+        assert by_match.stats[0]["cookie"] == 7
+
+    def test_table_stats(self, wired):
+        _, topo, _, channel = wired
+        dpid = topo.switch("s1").dpid
+        reply = channel.send(TableStatsRequest(dpid=dpid))
+        assert len(reply.stats) == 2  # conftest attaches 2 tables
+
+    def test_barrier(self, wired):
+        _, topo, _, channel = wired
+        dpid = topo.switch("s1").dpid
+        request = BarrierRequest(dpid=dpid)
+        reply = channel.send(request)
+        assert isinstance(reply, BarrierReply)
+        assert reply.xid == request.xid
+
+
+class TestLatency:
+    def test_latency_defers_application(self, line2):
+        sim = Simulator()
+        controller = Controller()
+        channel = ControlChannel(sim, line2, controller=controller, latency_s=0.5)
+        dpid = line2.switch("s1").dpid
+        assert channel.send(add_mod(dpid)) is None
+        assert line2.switch("s1").pipeline.total_entries == 0
+        sim.run(until=0.4)
+        assert line2.switch("s1").pipeline.total_entries == 0
+        sim.run(until=0.6)
+        assert line2.switch("s1").pipeline.total_entries == 1
+
+    def test_negative_latency_rejected(self, line2):
+        with pytest.raises(Exception):
+            ControlChannel(Simulator(), line2, latency_s=-1)
+
+
+class TestEngineNotification:
+    def test_engines_notified_on_rule_change(self, wired):
+        _, topo, _, channel = wired
+
+        class FakeEngine:
+            def __init__(self):
+                self.dpids = []
+
+            def notify_rules_changed(self, dpid):
+                self.dpids.append(dpid)
+
+        engine = FakeEngine()
+        channel.connect_engine(engine)
+        channel.connect_engine(engine)  # idempotent
+        assert len(channel.engines) == 1
+        dpid = topo.switch("s1").dpid
+        channel.send(add_mod(dpid))
+        assert engine.dpids == [dpid]
+
+    def test_datapath_ids_sorted(self, wired):
+        _, topo, _, channel = wired
+        assert channel.datapath_ids() == sorted(
+            s.dpid for s in topo.switches
+        )

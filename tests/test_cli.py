@@ -1,0 +1,139 @@
+"""CLI tests: topo/info/run subcommands end to end."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def topo_file(tmp_path):
+    path = str(tmp_path / "topo.json")
+    assert main(["topo", "--kind", "fat-tree", "--k", "4", "--out", path]) == 0
+    return path
+
+
+class TestTopoCommands:
+    def test_generate_fat_tree(self, topo_file):
+        with open(topo_file) as handle:
+            doc = json.load(handle)
+        assert len(doc["nodes"]) == 36
+        assert len(doc["links"]) == 48
+
+    def test_generate_ixp(self, tmp_path, capsys):
+        path = str(tmp_path / "ixp.json")
+        rc = main(
+            ["topo", "--kind", "ixp", "--members", "8", "--seed", "3",
+             "--out", path]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "members" not in out or path in out
+
+    def test_info(self, topo_file, capsys):
+        assert main(["info", topo_file]) == 0
+        out = capsys.readouterr().out
+        assert "hosts    : 16" in out
+        assert "switches : 20" in out
+
+    def test_info_missing_file(self, tmp_path, capsys):
+        rc = main(["info", str(tmp_path / "nope.json")])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRunCommand:
+    def _scenario(self, tmp_path, **overrides):
+        scenario = {
+            "engine": "flow",
+            "seed": 5,
+            "until": 30.0,
+            "topology": {"kind": "star", "hosts": 4},
+            "policies": {
+                "forwarding": {"mode": "shortest-path", "match_on": "ip_dst"}
+            },
+            "traffic": {
+                "kind": "matrix",
+                "model": "uniform",
+                "total": "50 Mbps",
+                "horizon_s": 1.0,
+            },
+        }
+        scenario.update(overrides)
+        path = str(tmp_path / "scenario.json")
+        with open(path, "w") as handle:
+            json.dump(scenario, handle)
+        return path
+
+    def test_run_prints_summary(self, tmp_path, capsys):
+        path = self._scenario(tmp_path)
+        assert main(["run", path]) == 0
+        out = capsys.readouterr().out
+        assert "run summary" in out
+        assert "flows submitted" in out
+
+    def test_run_writes_artifacts(self, tmp_path):
+        path = self._scenario(tmp_path)
+        csv_path = str(tmp_path / "flows.csv")
+        json_path = str(tmp_path / "run.json")
+        rc = main(["run", path, "--flows-csv", csv_path, "--json", json_path])
+        assert rc == 0
+        with open(json_path) as handle:
+            doc = json.load(handle)
+        assert doc["delivered_fraction"] == 1.0
+        with open(csv_path) as handle:
+            assert handle.readline().startswith("flow_id,")
+
+    def test_run_from_topology_file(self, tmp_path, topo_file):
+        path = self._scenario(tmp_path, topology={"file": topo_file})
+        assert main(["run", path]) == 0
+
+    def test_run_with_trace_traffic(self, tmp_path):
+        # Build a trace against the same star topology.
+        import random
+
+        from repro.net.generators import single_switch
+        from repro.traffic import FlowGenerator, TrafficMatrix, save_trace
+
+        topo = single_switch(4)
+        tm = TrafficMatrix.uniform([h.name for h in topo.hosts], 10e6)
+        flows = FlowGenerator(topo, random.Random(1)).from_matrix(tm, 1.0)
+        trace_path = str(tmp_path / "trace.jsonl")
+        save_trace(flows, trace_path)
+        path = self._scenario(
+            tmp_path, traffic={"kind": "trace", "file": trace_path}
+        )
+        assert main(["run", path]) == 0
+
+    def test_gravity_ixp_requires_ixp_topology(self, tmp_path, capsys):
+        path = self._scenario(
+            tmp_path,
+            traffic={"kind": "matrix", "model": "gravity-ixp",
+                     "total": "1 Gbps"},
+        )
+        assert main(["run", path]) == 1
+        assert "gravity-ixp" in capsys.readouterr().err
+
+    def test_gravity_ixp_with_ixp_topology(self, tmp_path, capsys):
+        path = self._scenario(
+            tmp_path,
+            topology={"kind": "ixp", "members": 8, "seed": 1},
+            traffic={
+                "kind": "matrix",
+                "model": "gravity-ixp",
+                "total": "1 Gbps",
+                "horizon_s": 0.5,
+            },
+        )
+        assert main(["run", path]) == 0
+
+    def test_unknown_topology_kind(self, tmp_path, capsys):
+        path = self._scenario(tmp_path, topology={"kind": "torus"})
+        assert main(["run", path]) == 1
+
+    def test_bad_scenario_json(self, tmp_path, capsys):
+        path = str(tmp_path / "broken.json")
+        with open(path, "w") as handle:
+            handle.write("{not json")
+        assert main(["run", path]) == 1

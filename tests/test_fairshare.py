@@ -1,0 +1,228 @@
+"""Max-min fairness solver tests: hand cases + properties + parity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flowsim.fairshare import (
+    EPSILON_BPS,
+    FlowDemand,
+    IncrementalSolver,
+    affected_component,
+    solve,
+    solve_arrays,
+)
+
+
+def fd(flow_id, demand, links):
+    return FlowDemand(flow_id, demand, links)
+
+
+class TestHandCases:
+    def test_two_flows_split_one_link(self):
+        alloc = solve([fd("a", 10, ["l"]), fd("b", 10, ["l"])], {"l": 10})
+        assert alloc == {"a": 5.0, "b": 5.0}
+
+    def test_demand_limited_flow_frees_capacity(self):
+        alloc = solve([fd("a", 2, ["l"]), fd("b", 100, ["l"])], {"l": 10})
+        assert alloc["a"] == pytest.approx(2.0)
+        assert alloc["b"] == pytest.approx(8.0)
+
+    def test_multi_bottleneck_chain(self):
+        # a crosses l1 (cap 10) and l2 (cap 4); b crosses l2 only.
+        alloc = solve(
+            [fd("a", 100, ["l1", "l2"]), fd("b", 100, ["l2"])],
+            {"l1": 10, "l2": 4},
+        )
+        assert alloc["a"] == pytest.approx(2.0)
+        assert alloc["b"] == pytest.approx(2.0)
+
+    def test_classic_parking_lot(self):
+        # Long flow crosses both links; two short flows one link each.
+        alloc = solve(
+            [
+                fd("long", 100, ["l1", "l2"]),
+                fd("s1", 100, ["l1"]),
+                fd("s2", 100, ["l2"]),
+            ],
+            {"l1": 10, "l2": 10},
+        )
+        assert alloc["long"] == pytest.approx(5.0)
+        assert alloc["s1"] == pytest.approx(5.0)
+        assert alloc["s2"] == pytest.approx(5.0)
+
+    def test_unequal_bottlenecks_shift_share(self):
+        alloc = solve(
+            [fd("a", 100, ["l1"]), fd("b", 100, ["l1", "l2"])],
+            {"l1": 10, "l2": 3},
+        )
+        assert alloc["b"] == pytest.approx(3.0)
+        assert alloc["a"] == pytest.approx(7.0)
+
+    def test_linkless_flow_gets_demand(self):
+        alloc = solve([fd("a", 7, [])], {})
+        assert alloc == {"a": 7.0}
+
+    def test_zero_demand_flow(self):
+        alloc = solve([fd("a", 0, ["l"]), fd("b", 10, ["l"])], {"l": 10})
+        assert alloc["a"] == 0.0
+        assert alloc["b"] == pytest.approx(10.0)
+
+    def test_duplicate_links_deduplicated(self):
+        demand = fd("a", 100, ["l", "l", "l"])
+        assert demand.links == ("l",)
+        alloc = solve([demand], {"l": 10})
+        assert alloc["a"] == pytest.approx(10.0)
+
+    def test_missing_capacity_raises(self):
+        with pytest.raises(KeyError):
+            solve([fd("a", 1, ["ghost"])], {})
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            fd("a", -1, [])
+
+    def test_empty_input(self):
+        assert solve([], {}) == {}
+        assert solve_arrays(
+            np.empty(0), np.empty(0), np.empty(0, np.intp), np.empty(0, np.intp)
+        ).size == 0
+
+
+# ----------------------------------------------------------------------
+# Random instances shared by the property tests
+# ----------------------------------------------------------------------
+
+instances = st.integers(min_value=0, max_value=10_000).flatmap(
+    lambda seed: st.just(seed)
+)
+
+
+def build_instance(seed):
+    import random
+
+    rng = random.Random(seed)
+    num_links = rng.randint(1, 12)
+    num_flows = rng.randint(1, 40)
+    caps = {f"l{i}": rng.uniform(1.0, 1000.0) for i in range(num_links)}
+    flows = []
+    for i in range(num_flows):
+        count = rng.randint(0, min(5, num_links))
+        links = rng.sample(sorted(caps), count)
+        flows.append(fd(i, rng.uniform(0.1, 500.0), links))
+    return flows, caps
+
+
+@settings(max_examples=120, deadline=None)
+@given(instances)
+def test_property_feasibility_and_demand_cap(seed):
+    """No link over capacity; no flow above demand; no negative rates."""
+    flows, caps = build_instance(seed)
+    alloc = solve(flows, caps)
+    for flow in flows:
+        assert -1e-9 <= alloc[flow.flow_id] <= flow.demand_bps + 1e-6
+    for link, cap in caps.items():
+        used = sum(alloc[f.flow_id] for f in flows if link in f.links)
+        assert used <= cap * (1 + 1e-6) + 1e-6
+
+
+@settings(max_examples=120, deadline=None)
+@given(instances)
+def test_property_max_min_condition(seed):
+    """Every flow is either demand-satisfied or crosses a saturated link
+    on which it has a maximal rate — the max-min optimality condition."""
+    flows, caps = build_instance(seed)
+    alloc = solve(flows, caps)
+    tol = 1e-5
+    for flow in flows:
+        rate = alloc[flow.flow_id]
+        if rate >= flow.demand_bps - max(tol, tol * flow.demand_bps):
+            continue
+        bottlenecked = False
+        for link in flow.links:
+            used = sum(alloc[f.flow_id] for f in flows if link in f.links)
+            cap = caps[link]
+            saturated = used >= cap - max(tol, tol * cap)
+            on_link = [alloc[f.flow_id] for f in flows if link in f.links]
+            is_max = rate >= max(on_link) - max(tol, tol * max(on_link))
+            if saturated and is_max:
+                bottlenecked = True
+                break
+        assert bottlenecked, (flow.flow_id, rate, flow.demand_bps)
+
+
+@settings(max_examples=120, deadline=None)
+@given(instances)
+def test_property_scalar_vector_parity(seed):
+    """The NumPy solver matches the scalar solver."""
+    flows, caps = build_instance(seed)
+    ref = solve(flows, caps)
+    link_index = {name: i for i, name in enumerate(sorted(caps))}
+    fo, lo = [], []
+    for i, flow in enumerate(flows):
+        for link in flow.links:
+            fo.append(i)
+            lo.append(link_index[link])
+    vec = solve_arrays(
+        np.asarray([f.demand_bps for f in flows]),
+        np.asarray([caps[name] for name in sorted(caps)]),
+        np.asarray(fo, dtype=np.intp),
+        np.asarray(lo, dtype=np.intp),
+    )
+    for i, flow in enumerate(flows):
+        expected = ref[flow.flow_id]
+        assert vec[i] == pytest.approx(expected, rel=1e-4, abs=1e-4)
+
+
+@settings(max_examples=60, deadline=None)
+@given(instances)
+def test_property_incremental_matches_full(seed):
+    """Incremental updates converge to the same allocation as full solves
+    across a random add/remove schedule."""
+    import random
+
+    flows, caps = build_instance(seed)
+    rng = random.Random(seed + 1)
+    incremental = IncrementalSolver()
+    current = []
+    pending = list(flows)
+    rng.shuffle(pending)
+    while pending or current:
+        if pending and (not current or rng.random() < 0.6):
+            flow = pending.pop()
+            current.append(flow)
+            changed = {flow.flow_id}
+        else:
+            flow = current.pop(rng.randrange(len(current)))
+            changed = {flow.flow_id}
+        got = incremental.update(current, caps, changed)
+        want = solve(current, caps)
+        for f in current:
+            assert got[f.flow_id] == pytest.approx(
+                want[f.flow_id], rel=1e-5, abs=1e-5
+            )
+
+
+class TestAffectedComponent:
+    def test_transitive_closure(self):
+        flows = [
+            fd("a", 1, ["l1"]),
+            fd("b", 1, ["l1", "l2"]),
+            fd("c", 1, ["l2"]),
+            fd("d", 1, ["l9"]),
+        ]
+        component = affected_component(flows, ["a"])
+        assert component == {"a", "b", "c"}
+
+    def test_unknown_seed_ignored(self):
+        assert affected_component([fd("a", 1, ["l"])], ["ghost"]) == set()
+
+    def test_incremental_scope_is_smaller_for_disjoint_flows(self):
+        caps = {"l1": 10, "l2": 10}
+        incremental = IncrementalSolver()
+        a = fd("a", 5, ["l1"])
+        b = fd("b", 5, ["l2"])
+        incremental.update([a], caps, {"a"})
+        incremental.update([a, b], caps, {"b"})
+        assert incremental.last_scope == 1  # only b's component re-solved

@@ -1,0 +1,122 @@
+"""Fault-injector tests: renewal processes, records, availability."""
+
+import random
+
+import pytest
+
+from repro.control import ControlChannel, Controller
+from repro.control.apps import ShortestPathApp
+from repro.errors import SimulationError
+from repro.flowsim import Flow, FlowLevelEngine
+from repro.net.generators import full_mesh
+from repro.openflow import attach_pipeline
+from repro.openflow.headers import tcp_flow
+from repro.sim import FaultProfile, LinkFaultInjector, Simulator
+
+
+def build(seed=1):
+    topo = full_mesh(3, hosts_per_switch=1)
+    for s in topo.switches:
+        attach_pipeline(s)
+    sim = Simulator()
+    controller = Controller()
+    controller.add_app(ShortestPathApp(match_on="ip_dst"))
+    channel = ControlChannel(sim, topo, controller=controller)
+    engine = FlowLevelEngine(sim, topo, control=channel)
+    channel.connect_engine(engine)
+    controller.start()
+    return topo, sim, engine
+
+
+def long_flow(topo, duration=60.0):
+    h1, h2 = topo.host("h1"), topo.host("h2")
+    return Flow(
+        headers=tcp_flow(h1.ip, h2.ip, 1000, 80),
+        src="h1",
+        dst="h2",
+        demand_bps=1e6,
+        duration_s=duration,
+    )
+
+
+class TestInjector:
+    def test_failures_and_repairs_occur(self):
+        topo, sim, engine = build()
+        injector = LinkFaultInjector(
+            engine, random.Random(2), horizon_s=60.0
+        )
+        injector.watch(("s1", "s2"), FaultProfile(mtbf_s=5.0, mttr_s=1.0))
+        injector.start()
+        flow = long_flow(topo)
+        engine.submit(flow)
+        sim.run(until=60.0)
+        assert injector.failure_count() >= 3
+        repaired = [r for r in injector.records if r.repaired_at is not None]
+        assert repaired
+        assert all(r.downtime_s > 0 for r in repaired)
+
+    def test_flow_survives_the_churn(self):
+        topo, sim, engine = build()
+        injector = LinkFaultInjector(engine, random.Random(3), horizon_s=40.0)
+        injector.watch(("s1", "s2"), FaultProfile(mtbf_s=4.0, mttr_s=1.0))
+        injector.start()
+        flow = long_flow(topo, duration=40.0)
+        engine.submit(flow)
+        sim.run(until=45.0)
+        engine.finish()
+        # The mesh always has an alternate path, so delivery never stops.
+        assert flow.delivered
+        assert flow.reroutes >= 2
+        assert flow.bytes_delivered == pytest.approx(1e6 * 40 / 8, rel=1e-6)
+
+    def test_availability_accounting(self):
+        topo, sim, engine = build()
+        injector = LinkFaultInjector(engine, random.Random(4), horizon_s=100.0)
+        injector.watch(("s1", "s2"), FaultProfile(mtbf_s=8.0, mttr_s=2.0))
+        injector.start()
+        # Keep the simulation alive to the horizon.
+        engine.submit(long_flow(topo, duration=100.0))
+        sim.run(until=100.0)
+        availability = injector.availability(("s1", "s2"), until=100.0)
+        # MTBF 8 / MTTR 2 -> ~80% availability; loose statistical bounds.
+        assert 0.5 < availability < 0.98
+
+    def test_determinism_by_seed(self):
+        times_a = []
+        times_b = []
+        for sink in (times_a, times_b):
+            topo, sim, engine = build()
+            injector = LinkFaultInjector(
+                engine, random.Random(7), horizon_s=50.0
+            )
+            injector.watch(("s1", "s2"), FaultProfile(mtbf_s=5.0, mttr_s=1.0))
+            injector.start()
+            engine.submit(long_flow(topo, duration=50.0))
+            sim.run(until=50.0)
+            sink.extend(r.failed_at for r in injector.records)
+        assert times_a == times_b
+
+    def test_watch_validation(self):
+        topo, sim, engine = build()
+        injector = LinkFaultInjector(engine, random.Random(0), horizon_s=10.0)
+        with pytest.raises(Exception):
+            injector.watch(("s1", "ghost"), FaultProfile(1.0, 1.0))
+        injector.watch(("s1", "s2"), FaultProfile(1.0, 1.0))
+        with pytest.raises(SimulationError):
+            injector.watch(("s1", "s2"), FaultProfile(1.0, 1.0))
+
+    def test_invalid_parameters(self):
+        topo, sim, engine = build()
+        with pytest.raises(SimulationError):
+            FaultProfile(mtbf_s=0, mttr_s=1)
+        with pytest.raises(SimulationError):
+            LinkFaultInjector(engine, random.Random(0), horizon_s=0)
+
+    def test_no_events_beyond_horizon(self):
+        topo, sim, engine = build()
+        injector = LinkFaultInjector(engine, random.Random(5), horizon_s=10.0)
+        injector.watch(("s1", "s2"), FaultProfile(mtbf_s=2.0, mttr_s=0.5))
+        injector.start()
+        engine.submit(long_flow(topo, duration=50.0))
+        sim.run(until=50.0)
+        assert all(r.failed_at <= 10.0 for r in injector.records)

@@ -1,0 +1,200 @@
+"""Flow table tests: priorities, FlowMod semantics, timeouts, counters."""
+
+import pytest
+
+from repro.errors import TableFullError
+from repro.net import IPv4Address, IPv4Network
+from repro.openflow import (
+    ApplyActions,
+    Drop,
+    FlowEntry,
+    FlowTable,
+    HeaderFields,
+    Match,
+    Output,
+)
+
+
+def entry(priority=0, instructions=None, **match_fields):
+    return FlowEntry(
+        match=Match(**match_fields),
+        priority=priority,
+        instructions=instructions or (ApplyActions((Output(1),)),),
+    )
+
+
+def header(ip_dst="10.0.0.1"):
+    return HeaderFields(ip_dst=IPv4Address(ip_dst))
+
+
+class TestLookup:
+    def test_highest_priority_wins(self):
+        table = FlowTable()
+        low = entry(priority=1)
+        high = entry(priority=10, ip_dst=IPv4Address("10.0.0.1"))
+        table.add(low)
+        table.add(high)
+        assert table.lookup(header()) is high
+        assert table.lookup(header("10.0.0.2")) is low
+
+    def test_insertion_order_breaks_priority_ties(self):
+        table = FlowTable()
+        first = entry(priority=5, ip_dst=IPv4Address("10.0.0.1"))
+        second = entry(priority=5)  # overlapping but distinct match
+        table.add(first)
+        table.add(second)
+        assert table.lookup(header()) is first
+
+    def test_miss_returns_none_and_counts(self):
+        table = FlowTable()
+        assert table.lookup(header()) is None
+        table.add(entry(ip_dst=IPv4Address("10.9.9.9")))
+        assert table.lookup(header()) is None
+        stats = table.stats()
+        assert stats["lookup_count"] == 2
+        assert stats["matched_count"] == 0
+
+    def test_in_port_lookup(self):
+        table = FlowTable()
+        table.add(entry(priority=5, in_port=2))
+        assert table.lookup(header(), in_port=2) is not None
+        assert table.lookup(header(), in_port=3) is None
+
+
+class TestAdd:
+    def test_identical_match_and_priority_replaces(self):
+        table = FlowTable()
+        old = entry(priority=5, ip_dst=IPv4Address("10.0.0.1"))
+        new = FlowEntry(
+            match=Match(ip_dst=IPv4Address("10.0.0.1")),
+            priority=5,
+            instructions=(ApplyActions((Drop(),)),),
+        )
+        table.add(old)
+        table.add(new)
+        assert len(table) == 1
+        assert table.lookup(header()) is new
+
+    def test_check_overlap_rejects_same_priority_overlap(self):
+        table = FlowTable()
+        table.add(entry(priority=5, ip_dst=IPv4Network("10.0.0.0/8")))
+        with pytest.raises(TableFullError):
+            table.add(
+                entry(priority=5, ip_dst=IPv4Network("10.0.0.0/24")),
+                check_overlap=True,
+            )
+        # Different priority never conflicts.
+        table.add(
+            entry(priority=6, ip_dst=IPv4Network("10.0.0.0/24")),
+            check_overlap=True,
+        )
+
+    def test_table_capacity_enforced(self):
+        table = FlowTable(max_size=2)
+        table.add(entry(priority=1))
+        table.add(entry(priority=2, tp_dst=80))
+        with pytest.raises(TableFullError):
+            table.add(entry(priority=3, tp_dst=443))
+        # Replacement still allowed at capacity.
+        table.add(entry(priority=1))
+        assert len(table) == 2
+
+
+class TestModifyDelete:
+    def test_loose_delete_uses_subsumption(self):
+        table = FlowTable()
+        table.add(entry(priority=1, ip_dst=IPv4Address("10.0.0.1")))
+        table.add(entry(priority=2, ip_dst=IPv4Address("10.0.0.2")))
+        table.add(entry(priority=3, ip_dst=IPv4Address("11.0.0.1")))
+        removed = table.delete(Match(ip_dst=IPv4Network("10.0.0.0/8")))
+        assert len(removed) == 2
+        assert len(table) == 1
+
+    def test_strict_delete_requires_exact_match(self):
+        table = FlowTable()
+        kept = entry(priority=1, ip_dst=IPv4Address("10.0.0.1"))
+        table.add(kept)
+        assert table.delete(Match(), strict=True) == []
+        removed = table.delete(
+            Match(ip_dst=IPv4Address("10.0.0.1")), priority=1, strict=True
+        )
+        assert removed == [kept]
+
+    def test_delete_filtered_by_cookie(self):
+        table = FlowTable()
+        a = entry(priority=1)
+        a.cookie = 7
+        b = entry(priority=2, tp_dst=80)
+        b.cookie = 8
+        table.add(a)
+        table.add(b)
+        removed = table.delete(Match(), cookie=7)
+        assert removed == [a]
+        assert len(table) == 1
+
+    def test_modify_rewrites_instructions_keeps_counters(self):
+        table = FlowTable()
+        e = entry(priority=1)
+        table.add(e)
+        e.account(100, 1)
+        table.modify(Match(), (ApplyActions((Drop(),)),))
+        assert e.instructions == (ApplyActions((Drop(),)),)
+        assert e.byte_count == 100
+
+
+class TestTimeouts:
+    def test_hard_timeout_expires(self):
+        table = FlowTable()
+        e = FlowEntry(match=Match(), priority=0, hard_timeout=5.0, install_time=0.0)
+        table.add(e)
+        assert table.expire(now=4.9) == []
+        expired = table.expire(now=5.0)
+        assert expired == [(e, "hard")]
+        assert len(table) == 0
+
+    def test_idle_timeout_resets_on_use(self):
+        table = FlowTable()
+        e = FlowEntry(match=Match(), priority=0, idle_timeout=2.0, install_time=0.0)
+        table.add(e)
+        e.account(10, 1, now=1.5)
+        assert table.expire(now=3.0) == []  # used at 1.5, idle until 3.5
+        assert table.expire(now=3.5) == [(e, "idle")]
+
+    def test_zero_timeouts_never_expire(self):
+        table = FlowTable()
+        table.add(entry())
+        assert table.expire(now=1e9) == []
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            FlowEntry(match=Match(), idle_timeout=-1)
+
+    def test_hard_beats_idle_when_both_due(self):
+        e = FlowEntry(
+            match=Match(), idle_timeout=1.0, hard_timeout=1.0, install_time=0.0
+        )
+        assert e.expired(now=1.0) == "hard"
+
+
+class TestIntrospection:
+    def test_entries_by_cookie(self):
+        table = FlowTable()
+        e = entry()
+        e.cookie = 42
+        table.add(e)
+        table.add(entry(priority=3, tp_dst=80))
+        assert table.entries_by_cookie(42) == [e]
+
+    def test_iteration_and_clear(self):
+        table = FlowTable()
+        table.add(entry(priority=1))
+        table.add(entry(priority=2, tp_dst=80))
+        assert len(list(table)) == 2
+        table.clear()
+        assert len(table) == 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            FlowTable(table_id=-1)
+        with pytest.raises(ValueError):
+            FlowTable(max_size=0)

@@ -1,0 +1,218 @@
+"""IXP model tests: members, route server, fabric, trace synthesis."""
+
+import random
+
+import pytest
+
+from repro.errors import ControlPlaneError, TrafficError
+from repro.ixp import (
+    ExportPolicy,
+    Member,
+    RouteServer,
+    build_ixp,
+    synthesize_members,
+)
+from repro.net import IPv4Address, IPv4Network
+from repro.traffic import IxpTraceSynthesizer, ixp_gravity_matrix
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture
+def rng():
+    return random.Random(7)
+
+
+class TestMembers:
+    def test_population_shape(self, rng):
+        members = synthesize_members(50, rng)
+        assert len(members) == 50
+        weights = [m.weight for m in members]
+        assert sum(weights) == pytest.approx(1.0)
+        assert weights[0] > weights[-1]  # Zipf skew
+        # Port classes follow rank.
+        assert members[0].port_bps == 100e9
+        assert members[-1].port_bps == 1e9
+
+    def test_each_member_has_prefix_and_kind(self, rng):
+        members = synthesize_members(20, rng)
+        kinds = {m.kind for m in members}
+        assert kinds <= {"content", "eyeball", "transit"}
+        assert all(m.prefixes for m in members)
+        asns = [m.asn for m in members]
+        assert len(set(asns)) == 20
+
+    def test_minimum_population(self, rng):
+        with pytest.raises(TrafficError):
+            synthesize_members(1, rng)
+
+    def test_member_validation(self):
+        with pytest.raises(TrafficError):
+            Member(asn=1, name="x", weight=-1, port_bps=1e9)
+        with pytest.raises(TrafficError):
+            Member(asn=1, name="x", weight=0.1, port_bps=0)
+
+
+class TestRouteServer:
+    def _two_members(self):
+        a = Member(asn=1, name="a", weight=0.5, port_bps=1e9,
+                   prefixes=[IPv4Network("10.1.0.0/16")])
+        b = Member(asn=2, name="b", weight=0.5, port_bps=1e9,
+                   prefixes=[IPv4Network("10.2.0.0/16")])
+        rs = RouteServer()
+        rs.register(a)
+        rs.register(b)
+        return rs, a, b
+
+    def test_open_peering_by_default(self):
+        rs, a, b = self._two_members()
+        assert rs.peering_allowed(1, 2)
+        assert rs.peering_allowed(2, 1)
+        assert not rs.peering_allowed(1, 1)
+
+    def test_block_policy(self):
+        rs, a, b = self._two_members()
+        rs.set_export_policy(2, ExportPolicy("block", {1}))
+        # b no longer exports to a: a cannot send to b.
+        assert not rs.peering_allowed(1, 2)
+        assert rs.peering_allowed(2, 1)
+
+    def test_allow_policy(self):
+        rs, a, b = self._two_members()
+        rs.set_export_policy(2, ExportPolicy("allow", set()))
+        assert not rs.peering_allowed(1, 2)
+        rs.set_export_policy(2, ExportPolicy("allow", {1}))
+        assert rs.peering_allowed(1, 2)
+
+    def test_rib_respects_export_policy(self):
+        rs, a, b = self._two_members()
+        assert len(rs.rib_for(1)) == 1
+        rs.set_export_policy(2, ExportPolicy("block", {1}))
+        assert rs.rib_for(1) == []
+
+    def test_origin_longest_prefix_match(self):
+        rs, a, b = self._two_members()
+        rs.announce(1, IPv4Network("10.2.128.0/17"))  # more specific than b
+        assert rs.origin_of(IPv4Address("10.2.200.1")) == 1
+        assert rs.origin_of(IPv4Address("10.2.1.1")) == 2
+        assert rs.origin_of(IPv4Address("99.9.9.9")) is None
+
+    def test_withdraw_and_duplicate_register(self):
+        rs, a, b = self._two_members()
+        rs.withdraw(1)
+        assert len(rs) == 1
+        with pytest.raises(ControlPlaneError):
+            rs.peering_allowed(1, 2)
+        with pytest.raises(ControlPlaneError):
+            rs.register(b)
+
+    def test_invalid_export_mode(self):
+        with pytest.raises(ControlPlaneError):
+            ExportPolicy("maybe")
+
+    def test_peering_matrix_uses_host_names(self):
+        rs, a, b = self._two_members()
+        a.host_name, b.host_name = "m1", "m2"
+        matrix = rs.peering_matrix()
+        assert matrix[("m1", "m2")] is True
+        assert len(matrix) == 2
+
+
+class TestFabric:
+    def test_build_shapes(self):
+        fabric = build_ixp(24, seed=3)
+        summary = fabric.summary()
+        assert summary["members"] == 24
+        assert summary["edges"] >= 2 and summary["cores"] >= 2
+        # Every member router reaches every other.
+        topo = fabric.topology
+        first, last = fabric.members[0], fabric.members[-1]
+        assert topo.shortest_path(first.host_name, last.host_name)
+
+    def test_members_registered_at_route_server(self):
+        fabric = build_ixp(8, seed=0)
+        assert len(fabric.route_server) == 8
+        assert all(m.host_name for m in fabric.members)
+
+    def test_core_directions_enumeration(self):
+        fabric = build_ixp(8, num_edges=2, num_cores=2, seed=0)
+        cores = list(fabric.core_directions())
+        # 2 edges x 2 cores x 2 directions.
+        assert len(cores) == 8
+
+    def test_member_weights_exported(self):
+        fabric = build_ixp(8, seed=0)
+        weights = fabric.member_weights()
+        assert len(weights) == 8
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+    def test_deterministic_by_seed(self):
+        a = build_ixp(16, seed=11)
+        b = build_ixp(16, seed=11)
+        assert [m.kind for m in a.members] == [m.kind for m in b.members]
+
+    def test_explicit_members(self):
+        members = [
+            Member(asn=10, name="x", weight=0.6, port_bps=10e9),
+            Member(asn=20, name="y", weight=0.4, port_bps=1e9),
+        ]
+        fabric = build_ixp(0, members=members, seed=0)
+        assert {m.asn for m in fabric.members} == {10, 20}
+
+    def test_member_lookup_by_host(self):
+        fabric = build_ixp(4, seed=0)
+        member = fabric.members[0]
+        assert fabric.member_by_host(member.host_name) is member
+        with pytest.raises(Exception):
+            fabric.member_by_host("ghost")
+
+
+class TestTraceSynthesis:
+    def test_gravity_matrix_mass_and_peering(self):
+        fabric = build_ixp(12, seed=2)
+        tm = ixp_gravity_matrix(fabric, total_bps=10e9)
+        assert tm.total_bps == pytest.approx(10e9)
+        # Restrictive peering removes pairs.
+        victim = fabric.members[0]
+        fabric.route_server.set_export_policy(
+            victim.asn, ExportPolicy("allow", set())
+        )
+        restricted = ixp_gravity_matrix(fabric, total_bps=10e9)
+        to_victim = sum(
+            r for (s, d), r in restricted.pairs() if d == victim.host_name
+        )
+        assert to_victim == 0.0
+
+    def test_role_asymmetry_content_to_eyeball(self):
+        fabric = build_ixp(30, seed=4)
+        tm = ixp_gravity_matrix(fabric, total_bps=1e9)
+        content = [m for m in fabric.members if m.kind == "content"]
+        eyeball = [m for m in fabric.members if m.kind == "eyeball"]
+        if content and eyeball:
+            c, e = content[0], eyeball[0]
+            assert tm.get(c.host_name, e.host_name) > tm.get(
+                e.host_name, c.host_name
+            )
+
+    def test_trace_generation(self):
+        fabric = build_ixp(8, seed=5)
+        synth = IxpTraceSynthesizer(fabric, peak_total_bps=5e9)
+        rng = RngRegistry(3).stream("t")
+        flows = synth.trace(rng, epochs=3, epoch_duration_s=2.0)
+        assert flows
+        assert flows[-1].start_time < 6.0
+        hosts = {m.host_name for m in fabric.members}
+        assert all(f.src in hosts and f.dst in hosts for f in flows)
+
+    def test_steady_flows_load_scaling(self):
+        fabric = build_ixp(8, seed=5)
+        synth = IxpTraceSynthesizer(fabric, peak_total_bps=5e9)
+        rng_a = RngRegistry(3).stream("a")
+        rng_b = RngRegistry(3).stream("b")
+        low = synth.steady_flows(rng_a, duration_s=1.0, load_fraction=0.1)
+        high = synth.steady_flows(rng_b, duration_s=1.0, load_fraction=1.0)
+        assert len(high) > len(low) * 3
+
+    def test_invalid_total(self):
+        fabric = build_ixp(4, seed=0)
+        with pytest.raises(TrafficError):
+            ixp_gravity_matrix(fabric, total_bps=0)

@@ -1,0 +1,266 @@
+"""OpenFlow pipeline tests: multi-table, groups, meters, flood, set-field."""
+
+import pytest
+
+from repro.errors import OpenFlowError
+from repro.net import IPv4Address, Topology
+from repro.openflow import (
+    ApplyActions,
+    Bucket,
+    Drop,
+    DropBand,
+    Flood,
+    GotoTable,
+    GroupAction,
+    GroupType,
+    HeaderFields,
+    Match,
+    MeterInstruction,
+    Output,
+    PORT_IN_PORT,
+    SetField,
+    ToController,
+    attach_pipeline,
+)
+from repro.openflow.headers import tcp_flow
+
+
+@pytest.fixture
+def switch_with_ports():
+    """One switch with 4 connected ports (to stub hosts)."""
+    topo = Topology()
+    switch = topo.add_switch("s1")
+    for i in range(4):
+        host = topo.add_host(f"h{i + 1}")
+        topo.add_link(host, switch)
+    return topo, switch
+
+
+def hdr(tp_dst=80):
+    return tcp_flow(IPv4Address("10.0.0.1"), IPv4Address("10.0.0.2"), 999, tp_dst)
+
+
+class TestBasicProcessing:
+    def test_miss_on_empty_pipeline(self, switch_with_ports):
+        _, switch = switch_with_ports
+        pipeline = attach_pipeline(switch)
+        result = pipeline.process(hdr(), in_port=1)
+        assert result.miss and not result.forwards
+
+    def test_output_action(self, switch_with_ports):
+        _, switch = switch_with_ports
+        pipeline = attach_pipeline(switch)
+        pipeline.install(Match(), (ApplyActions((Output(2),)),))
+        result = pipeline.process(hdr(), in_port=1)
+        assert result.out_ports == [2]
+        assert result.forwards
+        assert len(result.matched_entries) == 1
+
+    def test_output_to_in_port_suppressed(self, switch_with_ports):
+        _, switch = switch_with_ports
+        pipeline = attach_pipeline(switch)
+        pipeline.install(Match(), (ApplyActions((Output(1),)),))
+        assert pipeline.process(hdr(), in_port=1).out_ports == []
+
+    def test_reserved_in_port_sends_back(self, switch_with_ports):
+        _, switch = switch_with_ports
+        pipeline = attach_pipeline(switch)
+        pipeline.install(Match(), (ApplyActions((Output(PORT_IN_PORT),)),))
+        assert pipeline.process(hdr(), in_port=1).out_ports == [1]
+
+    def test_drop_wins_over_output(self, switch_with_ports):
+        _, switch = switch_with_ports
+        pipeline = attach_pipeline(switch)
+        pipeline.install(Match(), (ApplyActions((Output(2), Drop())),))
+        result = pipeline.process(hdr(), in_port=1)
+        assert result.dropped and result.out_ports == []
+
+    def test_to_controller_flag(self, switch_with_ports):
+        _, switch = switch_with_ports
+        pipeline = attach_pipeline(switch)
+        pipeline.install(Match(), (ApplyActions((ToController(),)),))
+        result = pipeline.process(hdr(), in_port=1)
+        assert result.to_controller and not result.miss
+
+    def test_flood_excludes_in_port_and_down_links(self, switch_with_ports):
+        topo, switch = switch_with_ports
+        pipeline = attach_pipeline(switch)
+        pipeline.install(Match(), (ApplyActions((Flood(),)),))
+        assert pipeline.process(hdr(), in_port=1).out_ports == [2, 3, 4]
+        topo.fail_link("s1", "h3")  # h3 is port 3
+        assert pipeline.process(hdr(), in_port=1).out_ports == [2, 4]
+
+    def test_priority_order_respected(self, switch_with_ports):
+        _, switch = switch_with_ports
+        pipeline = attach_pipeline(switch)
+        pipeline.install(Match(), (ApplyActions((Output(2),)),), priority=1)
+        pipeline.install(
+            Match(tp_dst=80), (ApplyActions((Drop(),)),), priority=100
+        )
+        assert pipeline.process(hdr(tp_dst=80), in_port=1).dropped
+        assert pipeline.process(hdr(tp_dst=443), in_port=1).out_ports == [2]
+
+
+class TestSetField:
+    def test_set_field_rewrites_headers(self, switch_with_ports):
+        _, switch = switch_with_ports
+        pipeline = attach_pipeline(switch)
+        pipeline.install(
+            Match(),
+            (ApplyActions((SetField("tp_dst", 8080), Output(2))),),
+        )
+        result = pipeline.process(hdr(tp_dst=80), in_port=1)
+        assert result.headers.tp_dst == 8080
+
+    def test_set_field_visible_to_next_table(self, switch_with_ports):
+        _, switch = switch_with_ports
+        pipeline = attach_pipeline(switch, num_tables=2)
+        pipeline.install(
+            Match(),
+            (ApplyActions((SetField("tp_dst", 8080),)), GotoTable(1)),
+            table_id=0,
+        )
+        pipeline.install(
+            Match(tp_dst=8080), (ApplyActions((Output(3),)),), table_id=1
+        )
+        result = pipeline.process(hdr(tp_dst=80), in_port=1)
+        assert result.out_ports == [3]
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            SetField("nope", 1)
+
+
+class TestMultiTable:
+    def test_goto_table_chains(self, switch_with_ports):
+        _, switch = switch_with_ports
+        pipeline = attach_pipeline(switch, num_tables=3)
+        pipeline.install(Match(), (GotoTable(1),), table_id=0)
+        pipeline.install(Match(), (GotoTable(2),), table_id=1)
+        pipeline.install(Match(), (ApplyActions((Output(2),)),), table_id=2)
+        result = pipeline.process(hdr(), in_port=1)
+        assert result.out_ports == [2]
+        assert len(result.matched_entries) == 3
+
+    def test_goto_backwards_rejected(self, switch_with_ports):
+        _, switch = switch_with_ports
+        pipeline = attach_pipeline(switch, num_tables=2)
+        pipeline.install(Match(), (GotoTable(1),), table_id=0)
+        pipeline.install(Match(), (GotoTable(1),), table_id=1)
+        with pytest.raises(OpenFlowError):
+            pipeline.process(hdr(), in_port=1)
+
+    def test_miss_in_later_table_not_marked_miss(self, switch_with_ports):
+        """A table-1 miss after a table-0 match ends quietly (no rules in
+        table 1), which is distinct from a pipeline-entry miss."""
+        _, switch = switch_with_ports
+        pipeline = attach_pipeline(switch, num_tables=2)
+        pipeline.install(Match(), (GotoTable(1),), table_id=0)
+        result = pipeline.process(hdr(), in_port=1)
+        assert not result.miss
+        assert result.out_ports == []
+
+    def test_invalid_table_reference(self, switch_with_ports):
+        _, switch = switch_with_ports
+        pipeline = attach_pipeline(switch, num_tables=1)
+        with pytest.raises(OpenFlowError):
+            pipeline.table(5)
+
+
+class TestGroupsInPipeline:
+    def test_select_group_outputs_one_port(self, switch_with_ports):
+        _, switch = switch_with_ports
+        pipeline = attach_pipeline(switch)
+        pipeline.groups.add(
+            7,
+            GroupType.SELECT,
+            [Bucket((Output(2),)), Bucket((Output(3),))],
+        )
+        pipeline.install(Match(), (ApplyActions((GroupAction(7),)),))
+        result = pipeline.process(hdr(), in_port=1)
+        assert len(result.out_ports) == 1
+        assert result.out_ports[0] in (2, 3)
+        assert result.group_hits[0][0].group_id == 7
+
+    def test_all_group_replicates(self, switch_with_ports):
+        _, switch = switch_with_ports
+        pipeline = attach_pipeline(switch)
+        pipeline.groups.add(
+            7, GroupType.ALL, [Bucket((Output(2),)), Bucket((Output(3),))]
+        )
+        pipeline.install(Match(), (ApplyActions((GroupAction(7),)),))
+        assert pipeline.process(hdr(), in_port=1).out_ports == [2, 3]
+
+    def test_failover_group_follows_port_state(self, switch_with_ports):
+        topo, switch = switch_with_ports
+        pipeline = attach_pipeline(switch)
+        pipeline.groups.add(
+            7,
+            GroupType.FAST_FAILOVER,
+            [
+                Bucket((Output(2),), watch_port=2),
+                Bucket((Output(3),), watch_port=3),
+            ],
+        )
+        pipeline.install(Match(), (ApplyActions((GroupAction(7),)),))
+        assert pipeline.process(hdr(), in_port=1).out_ports == [2]
+        topo.fail_link("s1", "h2")  # kills port 2
+        assert pipeline.process(hdr(), in_port=1).out_ports == [3]
+
+    def test_unknown_group_raises(self, switch_with_ports):
+        _, switch = switch_with_ports
+        pipeline = attach_pipeline(switch)
+        pipeline.install(Match(), (ApplyActions((GroupAction(9),)),))
+        with pytest.raises(OpenFlowError):
+            pipeline.process(hdr(), in_port=1)
+
+
+class TestMetersInPipeline:
+    def test_meter_ids_collected(self, switch_with_ports):
+        _, switch = switch_with_ports
+        pipeline = attach_pipeline(switch)
+        pipeline.meters.add(3, [DropBand(rate_bps=1e6)])
+        pipeline.install(
+            Match(), (MeterInstruction(3), ApplyActions((Output(2),)))
+        )
+        result = pipeline.process(hdr(), in_port=1)
+        assert result.meter_ids == [3]
+        assert result.out_ports == [2]
+
+    def test_unknown_meter_raises(self, switch_with_ports):
+        _, switch = switch_with_ports
+        pipeline = attach_pipeline(switch)
+        pipeline.install(
+            Match(), (MeterInstruction(9), ApplyActions((Output(2),)))
+        )
+        with pytest.raises(OpenFlowError):
+            pipeline.process(hdr(), in_port=1)
+
+
+class TestExpiry:
+    def test_expire_reports_table_ids(self, switch_with_ports):
+        _, switch = switch_with_ports
+        pipeline = attach_pipeline(switch, num_tables=2)
+        pipeline.install(Match(), (), hard_timeout=1.0, table_id=1, now=0.0)
+        expired = pipeline.expire(now=2.0)
+        assert len(expired) == 1
+        table_id, _, reason = expired[0]
+        assert table_id == 1 and reason == "hard"
+        assert pipeline.total_entries == 0
+
+    def test_clear_wipes_everything(self, switch_with_ports):
+        _, switch = switch_with_ports
+        pipeline = attach_pipeline(switch)
+        pipeline.install(Match(), ())
+        pipeline.groups.add(1, GroupType.ALL, [Bucket((Output(2),))])
+        pipeline.meters.add(1, [DropBand(rate_bps=1e6)])
+        pipeline.clear()
+        assert pipeline.total_entries == 0
+        assert len(pipeline.groups) == 0
+        assert len(pipeline.meters) == 0
+
+    def test_attach_is_idempotent(self, switch_with_ports):
+        _, switch = switch_with_ports
+        first = attach_pipeline(switch)
+        second = attach_pipeline(switch, num_tables=5)
+        assert first is second

@@ -1,0 +1,156 @@
+"""Coroutine-process API tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator, spawn
+
+
+def test_sleep_sequence():
+    sim = Simulator()
+    log = []
+
+    def body(s):
+        log.append(s.now)
+        yield 1.5
+        log.append(s.now)
+        yield 0.5
+        log.append(s.now)
+
+    spawn(sim, body)
+    sim.run()
+    assert log == [0.0, 1.5, 2.0]
+
+
+def test_spawn_with_delay_and_args():
+    sim = Simulator()
+    log = []
+
+    def body(s, tag, extra=None):
+        log.append((s.now, tag, extra))
+        yield 1.0
+
+    spawn(sim, body, "x", extra=7, delay=3.0)
+    sim.run()
+    assert log == [(3.0, "x", 7)]
+
+
+def test_join_returns_result():
+    sim = Simulator()
+    seen = {}
+
+    def worker(s):
+        yield 2.0
+        return "payload"
+
+    def boss(s):
+        handle = spawn(s, worker)
+        result = yield handle
+        seen["result"] = result
+        seen["time"] = s.now
+
+    spawn(sim, boss)
+    sim.run()
+    assert seen == {"result": "payload", "time": 2.0}
+
+
+def test_join_already_finished_process():
+    sim = Simulator()
+    order = []
+
+    def fast(s):
+        yield 0.5
+        order.append("fast")
+        return 1
+
+    def slow(s):
+        handle = spawn(s, fast)
+        yield 2.0  # fast finishes long before we join
+        value = yield handle
+        order.append(("slow", value, s.now))
+
+    spawn(sim, slow)
+    sim.run()
+    assert order == ["fast", ("slow", 1, 2.0)]
+
+
+def test_multiple_waiters_all_resume():
+    sim = Simulator()
+    hits = []
+
+    def worker(s):
+        yield 1.0
+        return "done"
+
+    handle = None
+
+    def waiter(s, tag):
+        value = yield handle
+        hits.append((tag, value))
+
+    def root(s):
+        nonlocal handle
+        handle = spawn(s, worker)
+        spawn(s, waiter, "a")
+        spawn(s, waiter, "b")
+        yield 0.0
+
+    spawn(sim, root)
+    sim.run()
+    assert sorted(hits) == [("a", "done"), ("b", "done")]
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+
+    def body(s):
+        yield -1.0
+
+    spawn(sim, body)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_bad_yield_type_raises():
+    sim = Simulator()
+
+    def body(s):
+        yield "soon"
+
+    spawn(sim, body)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_non_generator_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        spawn(sim, lambda s: None)
+
+
+def test_process_drives_engine_scenario(line2, install_path):
+    """An operator script: wait, fail a link, wait, restore."""
+    from repro.flowsim import Flow, FlowLevelEngine
+    from repro.openflow.headers import tcp_flow
+
+    install_path(line2, "h1", "h2")
+    sim = Simulator()
+    engine = FlowLevelEngine(sim, line2)
+    h1, h2 = line2.host("h1"), line2.host("h2")
+    flow = Flow(
+        headers=tcp_flow(h1.ip, h2.ip, 1000, 80),
+        src="h1", dst="h2", demand_bps=4e6, duration_s=6.0,
+    )
+    engine.submit(flow)
+
+    def operator(s):
+        yield 2.0
+        engine._on_link_state("s1", "s2", up=False)
+        yield 1.0
+        engine._on_link_state("s1", "s2", up=True)
+
+    spawn(sim, operator)
+    sim.run()
+    engine.finish()
+    # 1 s of the 6 s window was dark: 5 s x 4 Mb/s delivered.
+    assert flow.bytes_delivered == pytest.approx(4e6 * 5 / 8, rel=1e-6)

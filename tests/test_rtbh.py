@@ -1,0 +1,116 @@
+"""RTBH coordinator tests: blackhole signalling through the route server."""
+
+import pytest
+
+from repro.control import ControlChannel, Controller
+from repro.control.apps import BlackholeApp, ShortestPathApp
+from repro.errors import ControlPlaneError
+from repro.flowsim import Flow, FlowLevelEngine, Terminal
+from repro.ixp import RtbhCoordinator, build_ixp
+from repro.net import IPv4Network
+from repro.openflow import attach_pipeline
+from repro.openflow.headers import tcp_flow
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def fabric_stack():
+    fabric = build_ixp(8, seed=2)
+    topo = fabric.topology
+    for s in topo.switches:
+        attach_pipeline(s)
+    sim = Simulator()
+    controller = Controller()
+    blackhole = BlackholeApp()
+    controller.add_app(blackhole)
+    controller.add_app(ShortestPathApp(match_on="ip_dst"))
+    channel = ControlChannel(sim, topo, controller=controller)
+    engine = FlowLevelEngine(sim, topo, control=channel)
+    channel.connect_engine(engine)
+    controller.start()
+    rtbh = RtbhCoordinator(fabric.route_server, blackhole)
+    return fabric, sim, engine, rtbh
+
+
+def member_flow(fabric, src_index, dst_index, **kw):
+    src = fabric.members[src_index]
+    dst = fabric.members[dst_index]
+    s = fabric.topology.host(src.host_name)
+    d = fabric.topology.host(dst.host_name)
+    defaults = dict(demand_bps=10e6, duration_s=10.0)
+    defaults.update(kw)
+    return Flow(
+        headers=tcp_flow(s.ip, d.ip, 1000, 80),
+        src=s.name,
+        dst=d.name,
+        **defaults,
+    )
+
+
+class TestRtbh:
+    def test_announce_installs_drops(self, fabric_stack):
+        fabric, sim, engine, rtbh = fabric_stack
+        victim = fabric.members[1]
+        # Blackhole the victim's router address space: in our
+        # abstraction the member's host IP stands in for its prefixes,
+        # so announce a covering /32 registered as the member's own.
+        host_ip = fabric.topology.host(victim.host_name).ip
+        prefix = IPv4Network((int(host_ip), 32))
+        victim.prefixes.append(prefix)  # member announces its own space
+        flow = member_flow(fabric, 0, 1)
+        engine.submit(flow)
+        sim.call_at(2.0, lambda s: rtbh.announce(victim.asn, prefix))
+        sim.run(until=6.0)
+        engine.finish()
+        assert rtbh.is_blackholed(victim.asn, prefix)
+        assert flow.route.terminal is Terminal.BLACKHOLED
+
+    def test_withdraw_restores_traffic(self, fabric_stack):
+        fabric, sim, engine, rtbh = fabric_stack
+        victim = fabric.members[1]
+        host_ip = fabric.topology.host(victim.host_name).ip
+        prefix = IPv4Network((int(host_ip), 32))
+        victim.prefixes.append(prefix)
+        flow = member_flow(fabric, 0, 1, duration_s=12.0)
+        engine.submit(flow)
+        sim.call_at(2.0, lambda s: rtbh.announce(victim.asn, prefix))
+        sim.call_at(6.0, lambda s: rtbh.withdraw(victim.asn, prefix))
+        sim.run(until=12.0)
+        engine.finish()
+        assert not rtbh.active
+        assert flow.delivered
+        assert [kind for kind, _ in rtbh.log] == ["announce", "withdraw"]
+
+    def test_members_cannot_blackhole_others_space(self, fabric_stack):
+        fabric, sim, engine, rtbh = fabric_stack
+        attacker = fabric.members[0]
+        target_prefix = fabric.members[1].prefixes[0]
+        with pytest.raises(ControlPlaneError):
+            rtbh.announce(attacker.asn, target_prefix)
+
+    def test_more_specific_of_own_space_allowed(self, fabric_stack):
+        fabric, sim, engine, rtbh = fabric_stack
+        member = fabric.members[2]
+        own = member.prefixes[0]  # a /20
+        specific = IPv4Network((int(own.network), 24))
+        request = rtbh.announce(member.asn, specific)
+        assert request in rtbh.active
+
+    def test_duplicate_announce_rejected(self, fabric_stack):
+        fabric, sim, engine, rtbh = fabric_stack
+        member = fabric.members[2]
+        prefix = member.prefixes[0]
+        rtbh.announce(member.asn, prefix)
+        with pytest.raises(ControlPlaneError):
+            rtbh.announce(member.asn, prefix)
+
+    def test_withdraw_unknown_rejected(self, fabric_stack):
+        fabric, sim, engine, rtbh = fabric_stack
+        member = fabric.members[2]
+        with pytest.raises(ControlPlaneError):
+            rtbh.withdraw(member.asn, member.prefixes[0])
+
+    def test_unknown_member_rejected(self, fabric_stack):
+        fabric, sim, engine, rtbh = fabric_stack
+        with pytest.raises(ControlPlaneError):
+            rtbh.announce(99999, IPv4Network("10.0.0.0/24"))

@@ -1,0 +1,163 @@
+"""Trace persistence and result export tests."""
+
+import csv
+import io
+import json
+import random
+
+import pytest
+
+from repro import Flow, Horse
+from repro.errors import TrafficError
+from repro.net.generators import single_switch, tree
+from repro.openflow.headers import tcp_flow, udp_flow
+from repro.stats import flows_to_csv, result_to_dict, result_to_json, summary_text
+from repro.traffic import (
+    FlowGenerator,
+    TrafficMatrix,
+    flow_from_record,
+    flow_to_record,
+    load_trace,
+    save_trace,
+)
+
+
+def sample_flows(topo, rng):
+    tm = TrafficMatrix.uniform([h.name for h in topo.hosts], 20e6)
+    return FlowGenerator(topo, rng).from_matrix(tm, horizon_s=2.0)
+
+
+class TestTraceIO:
+    def test_record_round_trip_preserves_workload_fields(self):
+        topo = single_switch(2)
+        h1, h2 = topo.hosts
+        original = Flow(
+            headers=udp_flow(h1.ip, h2.ip, 5555, 53,
+                             eth_src=h1.mac, eth_dst=h2.mac),
+            src="h1",
+            dst="h2",
+            demand_bps=3e6,
+            duration_s=4.5,
+            start_time=1.25,
+            elastic=False,
+        )
+        rebuilt = flow_from_record(flow_to_record(original))
+        assert rebuilt.headers == original.headers
+        assert rebuilt.src == original.src
+        assert rebuilt.demand_bps == original.demand_bps
+        assert rebuilt.duration_s == original.duration_s
+        assert rebuilt.start_time == original.start_time
+        assert rebuilt.elastic is False
+
+    def test_file_round_trip(self, tmp_path):
+        topo = single_switch(4)
+        flows = sample_flows(topo, random.Random(8))
+        path = str(tmp_path / "trace.jsonl")
+        count = save_trace(flows, path)
+        assert count == len(flows)
+        rebuilt = load_trace(path)
+        assert len(rebuilt) == len(flows)
+        for a, b in zip(flows, rebuilt):
+            assert a.headers == b.headers
+            assert a.start_time == b.start_time
+            assert a.size_bytes == b.size_bytes
+
+    def test_stream_round_trip(self):
+        topo = single_switch(3)
+        flows = sample_flows(topo, random.Random(9))
+        buffer = io.StringIO()
+        save_trace(flows, buffer)
+        buffer.seek(0)
+        rebuilt = load_trace(buffer)
+        assert len(rebuilt) == len(flows)
+
+    def test_replaying_a_trace_reproduces_the_run(self, tmp_path):
+        """Save, reload, re-run: flow outcomes are identical."""
+        topo_a = tree(2, 2)
+        flows_a = sample_flows(topo_a, random.Random(10))
+        path = str(tmp_path / "trace.jsonl")
+        save_trace(flows_a, path)
+
+        def run(topo, flows):
+            horse = Horse(
+                topo,
+                policies={
+                    "forwarding": {"mode": "shortest-path", "match_on": "ip_dst"}
+                },
+            )
+            horse.submit_flows(flows)
+            return horse.run(until=60.0)
+
+        result_a = run(topo_a, flows_a)
+        topo_b = tree(2, 2)
+        result_b = run(topo_b, load_trace(path))
+        fct_a = sorted(round(f, 6) for f in (
+            fl.flow_completion_time for fl in result_a.completed_flows
+        ))
+        fct_b = sorted(round(f, 6) for f in (
+            fl.flow_completion_time for fl in result_b.completed_flows
+        ))
+        assert fct_a == fct_b
+
+    def test_header_and_version_checked(self):
+        with pytest.raises(TrafficError):
+            load_trace(io.StringIO(""))
+        with pytest.raises(TrafficError):
+            load_trace(io.StringIO('{"format": "something-else"}\n'))
+        with pytest.raises(TrafficError):
+            load_trace(
+                io.StringIO('{"format": "horse-trace", "version": 9}\n')
+            )
+
+
+class TestResultExport:
+    @pytest.fixture
+    def run_result(self):
+        topo = tree(2, 2)
+        horse = Horse(
+            topo,
+            policies={"forwarding": {"mode": "shortest-path", "match_on": "ip_dst"}},
+            )
+        h1, h4 = topo.host("h1"), topo.host("h4")
+        horse.submit_flows(
+            [
+                Flow(
+                    headers=tcp_flow(h1.ip, h4.ip, 1000, 80),
+                    src="h1",
+                    dst="h4",
+                    demand_bps=2e6,
+                    size_bytes=250_000,
+                )
+            ]
+        )
+        return horse.run()
+
+    def test_csv_export(self, run_result, tmp_path):
+        path = str(tmp_path / "flows.csv")
+        rows = flows_to_csv(run_result, path)
+        assert rows == 1
+        with open(path) as handle:
+            records = list(csv.DictReader(handle))
+        assert records[0]["src"] == "h1"
+        assert records[0]["state"] == "completed"
+        assert float(records[0]["goodput_bps"]) == pytest.approx(2e6, rel=0.01)
+
+    def test_json_document(self, run_result):
+        doc = result_to_dict(run_result)
+        assert doc["delivered_fraction"] == 1.0
+        assert doc["flows"][0]["terminal"] == "delivered"
+        # Must actually be JSON-serializable.
+        json.dumps(doc)
+
+    def test_json_file(self, run_result, tmp_path):
+        path = str(tmp_path / "run.json")
+        result_to_json(run_result, path)
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert doc["events"] == run_result.events
+
+    def test_summary_text(self, run_result):
+        text = summary_text(run_result)
+        assert "run summary" in text
+        assert "flows" in text
+        assert "goodput" in text

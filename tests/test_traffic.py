@@ -1,0 +1,287 @@
+"""Traffic subsystem tests: distributions, matrices, generators, replay."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TrafficError
+from repro.net.generators import single_switch
+from repro.traffic import (
+    BoundedPareto,
+    Constant,
+    Empirical,
+    Exponential,
+    FlowGenConfig,
+    FlowGenerator,
+    LogNormal,
+    MiceElephants,
+    TrafficMatrix,
+    TrafficReplay,
+    Uniform,
+    diurnal_profile,
+    weighted_choice,
+    zipf_weights,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(99)
+
+
+class TestDistributions:
+    def test_constant(self, rng):
+        sampler = Constant(rng, 42.0)
+        assert [sampler() for _ in range(3)] == [42.0, 42.0, 42.0]
+
+    def test_uniform_bounds(self, rng):
+        sampler = Uniform(rng, 1.0, 2.0)
+        samples = [sampler() for _ in range(200)]
+        assert all(1.0 <= s <= 2.0 for s in samples)
+
+    def test_exponential_mean(self, rng):
+        sampler = Exponential(rng, mean=5.0)
+        samples = [sampler() for _ in range(5000)]
+        assert sum(samples) / len(samples) == pytest.approx(5.0, rel=0.1)
+
+    def test_lognormal_mean(self, rng):
+        sampler = LogNormal(rng, mean=100.0, sigma=0.8)
+        samples = [sampler() for _ in range(20000)]
+        assert sum(samples) / len(samples) == pytest.approx(100.0, rel=0.1)
+
+    def test_bounded_pareto_range(self, rng):
+        sampler = BoundedPareto(rng, alpha=1.2, minimum=10.0, maximum=1000.0)
+        samples = [sampler() for _ in range(2000)]
+        assert all(10.0 <= s <= 1000.0 for s in samples)
+        # Heavy tail: some samples land well above the minimum.
+        assert max(samples) > 100.0
+
+    def test_empirical_interpolates(self, rng):
+        sampler = Empirical(rng, [(10.0, 0.5), (20.0, 1.0)])
+        samples = [sampler() for _ in range(500)]
+        assert all(10.0 <= s <= 20.0 for s in samples)
+
+    def test_empirical_validation(self, rng):
+        with pytest.raises(TrafficError):
+            Empirical(rng, [])
+        with pytest.raises(TrafficError):
+            Empirical(rng, [(1.0, 0.9)])  # doesn't end at 1.0
+        with pytest.raises(TrafficError):
+            Empirical(rng, [(1.0, 0.7), (2.0, 0.3)])  # unsorted
+
+    def test_mice_elephants_bimodal(self, rng):
+        sampler = MiceElephants(rng, mice_fraction=0.8)
+        samples = [sampler() for _ in range(5000)]
+        small = sum(1 for s in samples if s < 1e6)
+        assert 0.7 < small / len(samples) < 0.9
+        assert max(samples) > 1e6  # elephants exist
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(TrafficError):
+            Constant(rng, 0)
+        with pytest.raises(TrafficError):
+            Uniform(rng, 5, 1)
+        with pytest.raises(TrafficError):
+            Exponential(rng, 0)
+        with pytest.raises(TrafficError):
+            BoundedPareto(rng, 1.0, 10, 5)
+
+    def test_weighted_choice_respects_weights(self, rng):
+        picks = [
+            weighted_choice(rng, ["a", "b"], [0.99, 0.01]) for _ in range(500)
+        ]
+        assert picks.count("a") > 400
+
+    def test_zipf_weights_sum_and_skew(self):
+        weights = zipf_weights(10)
+        assert sum(weights) == pytest.approx(1.0)
+        assert weights[0] > weights[-1] * 5
+
+
+class TestTrafficMatrix:
+    def test_uniform_total(self):
+        tm = TrafficMatrix.uniform(["a", "b", "c"], total_bps=6e6)
+        assert tm.total_bps == pytest.approx(6e6)
+        assert len(tm) == 6
+        assert tm.get("a", "b") == pytest.approx(1e6)
+
+    def test_gravity_proportional_to_weights(self):
+        tm = TrafficMatrix.gravity({"big": 10.0, "mid": 5.0, "small": 1.0},
+                                   total_bps=1e9)
+        assert tm.total_bps == pytest.approx(1e9)
+        assert tm.get("big", "mid") > tm.get("small", "mid")
+        # Symmetric weights give symmetric demands.
+        assert tm.get("big", "small") == pytest.approx(tm.get("small", "big"))
+
+    def test_hotspot_concentrates_traffic(self):
+        hosts = [f"h{i}" for i in range(6)]
+        tm = TrafficMatrix.hotspot(hosts, ["h0"], total_bps=1e6,
+                                   hot_fraction=0.9)
+        to_hot = sum(r for (s, d), r in tm.pairs() if d == "h0")
+        assert to_hot > 0.8e6
+
+    def test_random_matrix_normalized(self):
+        tm = TrafficMatrix.random(["a", "b", "c", "d"], total_bps=5e6,
+                                  rng=random.Random(1))
+        assert tm.total_bps == pytest.approx(5e6)
+
+    def test_scaled_and_filtered(self):
+        tm = TrafficMatrix.uniform(["a", "b"], total_bps=2e6)
+        assert tm.scaled(0.5).total_bps == pytest.approx(1e6)
+        filtered = tm.filtered({("a", "b"): True})
+        assert len(filtered) == 1
+
+    def test_set_get_remove(self):
+        tm = TrafficMatrix()
+        tm.set("a", "b", 100.0)
+        assert tm.get("a", "b") == 100.0
+        tm.set("a", "b", 0)
+        assert len(tm) == 0
+        assert tm.get("a", "b") == 0.0
+
+    def test_validation(self):
+        tm = TrafficMatrix()
+        with pytest.raises(TrafficError):
+            tm.set("a", "a", 1.0)
+        with pytest.raises(TrafficError):
+            tm.set("a", "b", -1.0)
+        with pytest.raises(TrafficError):
+            TrafficMatrix.uniform(["only"], 1e6)
+
+    def test_pairs_deterministic_order(self):
+        tm = TrafficMatrix.uniform(["c", "a", "b"], total_bps=1.0)
+        pairs = [p for p, _ in tm.pairs()]
+        assert pairs == sorted(pairs)
+
+
+class TestFlowGenerator:
+    def test_poisson_offered_load_matches_matrix(self, rng):
+        topo = single_switch(4)
+        hosts = [h.name for h in topo.hosts]
+        tm = TrafficMatrix.uniform(hosts, total_bps=80e6)
+        config = FlowGenConfig(mean_flow_bytes=100e3)
+        generator = FlowGenerator(topo, rng, config=config)
+        horizon = 20.0
+        flows = generator.from_matrix(tm, horizon_s=horizon)
+        offered = sum(f.size_bytes for f in flows) * 8 / horizon
+        assert offered == pytest.approx(80e6, rel=0.35)
+
+    def test_flows_sorted_and_within_horizon(self, rng):
+        topo = single_switch(3)
+        tm = TrafficMatrix.uniform([h.name for h in topo.hosts], 10e6)
+        flows = FlowGenerator(topo, rng).from_matrix(tm, horizon_s=5.0)
+        times = [f.start_time for f in flows]
+        assert times == sorted(times)
+        assert all(0 <= t < 5.0 for t in times)
+
+    def test_headers_carry_host_addresses(self, rng):
+        topo = single_switch(2)
+        tm = TrafficMatrix.uniform([h.name for h in topo.hosts], 10e6)
+        flows = FlowGenerator(topo, rng).from_matrix(tm, horizon_s=2.0)
+        flow = flows[0]
+        src = topo.host(flow.src)
+        assert flow.headers.ip_src == src.ip
+        assert flow.headers.eth_src == src.mac
+        assert flow.headers.tp_dst in {80, 443, 53, 22, 1935}
+
+    def test_udp_fraction_respected(self, rng):
+        topo = single_switch(3)
+        tm = TrafficMatrix.uniform([h.name for h in topo.hosts], 50e6)
+        config = FlowGenConfig(udp_fraction=0.5, mean_flow_bytes=20e3)
+        flows = FlowGenerator(topo, rng, config=config).from_matrix(tm, 5.0)
+        udp = sum(1 for f in flows if not f.elastic)
+        assert 0.3 < udp / len(flows) < 0.7
+
+    def test_constant_rate_flows(self, rng):
+        topo = single_switch(3)
+        tm = TrafficMatrix.uniform([h.name for h in topo.hosts], 6e6)
+        flows = FlowGenerator(topo, rng).constant_rate_flows(tm, duration_s=4.0)
+        assert len(flows) == 6
+        assert all(f.duration_s == 4.0 for f in flows)
+        assert sum(f.demand_bps for f in flows) == pytest.approx(6e6)
+
+    def test_invalid_horizon(self, rng):
+        topo = single_switch(2)
+        tm = TrafficMatrix.uniform([h.name for h in topo.hosts], 1e6)
+        with pytest.raises(TrafficError):
+            FlowGenerator(topo, rng).from_matrix(tm, horizon_s=0)
+
+
+class TestReplay:
+    def test_diurnal_profile_shape(self):
+        values = [diurnal_profile(h) for h in range(24)]
+        assert all(0.25 <= v <= 1.0 for v in values)
+        # Evening peak beats the night trough.
+        assert diurnal_profile(21) > 2 * diurnal_profile(4)
+
+    def test_epochs_scale_the_matrix(self):
+        tm = TrafficMatrix.uniform(["a", "b"], total_bps=1e6)
+        replay = TrafficReplay(tm, epochs=4, epoch_duration_s=10.0)
+        assert replay.total_duration_s == 40.0
+        scales = [e.scale for e in replay.epochs]
+        for i, scale in enumerate(scales):
+            assert replay.matrix_for_epoch(i).total_bps == pytest.approx(
+                1e6 * scale
+            )
+
+    def test_generated_flows_cover_every_epoch(self, rng):
+        topo = single_switch(3)
+        tm = TrafficMatrix.uniform([h.name for h in topo.hosts], 20e6)
+        replay = TrafficReplay(tm, epochs=3, epoch_duration_s=5.0)
+        flows = replay.generate_flows(topo, rng)
+        for i in range(3):
+            in_epoch = [
+                f for f in flows if 5.0 * i <= f.start_time < 5.0 * (i + 1)
+            ]
+            assert in_epoch, f"no flows in epoch {i}"
+
+    def test_constant_flows_one_per_pair_per_epoch(self, rng):
+        topo = single_switch(3)
+        tm = TrafficMatrix.uniform([h.name for h in topo.hosts], 6e6)
+        replay = TrafficReplay(tm, epochs=2, epoch_duration_s=5.0)
+        flows = replay.generate_constant_flows(topo, rng)
+        assert len(flows) == 6 * 2
+
+    def test_replay_validation(self):
+        tm = TrafficMatrix.uniform(["a", "b"], 1.0)
+        with pytest.raises(TrafficError):
+            TrafficReplay(tm, epochs=0)
+        with pytest.raises(TrafficError):
+            TrafficReplay(tm, epoch_duration_s=0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=2, max_value=12), st.floats(min_value=1e3, max_value=1e12))
+def test_property_uniform_matrix_mass_conserved(n, total):
+    hosts = [f"h{i}" for i in range(n)]
+    tm = TrafficMatrix.uniform(hosts, total_bps=total)
+    assert tm.total_bps == pytest.approx(total, rel=1e-9)
+    assert len(tm) == n * (n - 1)
+
+
+class TestAppWeights:
+    def test_qos_weights_assigned_by_application(self):
+        import random
+
+        from repro.openflow.headers import AppPort
+
+        topo = single_switch(3)
+        tm = TrafficMatrix.uniform([h.name for h in topo.hosts], 50e6)
+        config = FlowGenConfig(
+            mean_flow_bytes=50e3,
+            app_weights={AppPort.RTMP: 4.0, AppPort.DNS: 0.5},
+        )
+        flows = FlowGenerator(topo, random.Random(4), config=config).from_matrix(
+            tm, horizon_s=5.0
+        )
+        by_app = {}
+        for flow in flows:
+            by_app.setdefault(flow.headers.tp_dst, set()).add(flow.weight)
+        if AppPort.RTMP in by_app:
+            assert by_app[AppPort.RTMP] == {4.0}
+        if AppPort.DNS in by_app:
+            assert by_app[AppPort.DNS] == {0.5}
+        if AppPort.HTTP in by_app:
+            assert by_app[AppPort.HTTP] == {1.0}
