@@ -1,12 +1,27 @@
 # Convenience targets for the Horse reproduction.
 
-.PHONY: install test bench bench-quick examples clean
+.PHONY: install test lint typecheck check bench bench-quick examples clean
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+# lint/typecheck degrade to a notice when the tool is not installed
+# (the sandboxed test image ships the runtime deps only; CI installs
+# the dev extras).
+lint:
+	@command -v ruff >/dev/null 2>&1 \
+		&& ruff check src \
+		|| echo "ruff not installed; skipping (pip install -e .[dev])"
+
+typecheck:
+	@command -v mypy >/dev/null 2>&1 \
+		&& mypy src/repro \
+		|| echo "mypy not installed; skipping (pip install -e .[dev])"
+
+check: lint typecheck test
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -1,0 +1,71 @@
+"""Data-plane static analysis for Horse.
+
+A scaled-down Header Space Analysis / VeriFlow layer over the installed
+OpenFlow state: derive traffic equivalence classes from the union of
+installed matches, symbolically walk each class through flow tables,
+group buckets, and links, and report loops, blackholes, shadowed/dead
+rules, and reachability violations against declared policy intents.
+
+Entry points:
+
+* :func:`analyze_network` — programmatic one-call API.
+* ``repro analyze scenario.json`` — CLI subcommand.
+* :meth:`repro.control.controller.Controller.verify` — post-compile
+  invariant hook.
+"""
+
+from .analyzer import (
+    DataPlaneAnalyzer,
+    INGRESS_ALL,
+    INGRESS_EDGE,
+    analyze_network,
+)
+from .classes import TrafficClass, derive_traffic_classes, witness_for
+from .findings import (
+    AnalysisReport,
+    Finding,
+    KIND_BLACKHOLE,
+    KIND_COMPOSITION,
+    KIND_LOOP,
+    KIND_PATH_DEVIATION,
+    KIND_REACHABILITY,
+    KIND_REDUNDANT_RULE,
+    KIND_RULE_CONFLICT,
+    KIND_SHADOWED_RULE,
+    SEVERITY_ERROR,
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+)
+from .graph import BranchOutcome, ClassTrace, trace_class
+from .rules import detect_rule_conflicts, find_table_findings
+from .walker import WalkState, walk_pipeline
+
+__all__ = [
+    "AnalysisReport",
+    "BranchOutcome",
+    "ClassTrace",
+    "DataPlaneAnalyzer",
+    "Finding",
+    "INGRESS_ALL",
+    "INGRESS_EDGE",
+    "KIND_BLACKHOLE",
+    "KIND_COMPOSITION",
+    "KIND_LOOP",
+    "KIND_PATH_DEVIATION",
+    "KIND_REACHABILITY",
+    "KIND_REDUNDANT_RULE",
+    "KIND_RULE_CONFLICT",
+    "KIND_SHADOWED_RULE",
+    "SEVERITY_ERROR",
+    "SEVERITY_INFO",
+    "SEVERITY_WARNING",
+    "TrafficClass",
+    "WalkState",
+    "analyze_network",
+    "derive_traffic_classes",
+    "detect_rule_conflicts",
+    "find_table_findings",
+    "trace_class",
+    "walk_pipeline",
+    "witness_for",
+]

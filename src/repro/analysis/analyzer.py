@@ -1,0 +1,378 @@
+"""The data-plane static analyzer: forwarding-graph verification.
+
+Ties the pieces together, VeriFlow-style but scaled to Horse's match
+model:
+
+1. derive witness traffic classes from the union of installed matches
+   (:mod:`repro.analysis.classes`);
+2. symbolically walk each class from every plausible ingress through
+   tables, groups, and links (:mod:`repro.analysis.graph`), reporting
+   **loops** and **blackholes**;
+3. scan every flow table for **shadowed**, **redundant**, and
+   **conflicting** rules (:mod:`repro.analysis.rules`);
+4. check declared policy intents — source routes and pinned peering
+   paths — against what the rules actually realize (**reachability**
+   and **path deviation** findings).
+
+Use :func:`analyze_network` for the one-call API; the ``repro analyze``
+CLI subcommand and :meth:`repro.control.controller.Controller.verify`
+are thin wrappers over it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..errors import HorseError
+from ..net.node import Host, Switch
+from ..net.topology import Topology
+from ..openflow.headers import EthType, HeaderFields, IpProto
+from .classes import TrafficClass, class_for_headers, derive_traffic_classes
+from .findings import (
+    AnalysisReport,
+    Finding,
+    KIND_BLACKHOLE,
+    KIND_LOOP,
+    KIND_PATH_DEVIATION,
+    KIND_REACHABILITY,
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+)
+from .graph import (
+    OUTCOME_DELIVERED,
+    OUTCOME_LOOP,
+    OUTCOME_STUCK,
+    ClassTrace,
+    trace_class,
+)
+from .rules import find_table_findings
+
+#: Ingress selection modes for class injection.
+INGRESS_EDGE = "edge"
+INGRESS_ALL = "all"
+
+
+class DataPlaneAnalyzer:
+    """Static analyzer over a topology's installed forwarding state.
+
+    Parameters
+    ----------
+    topology:
+        The network whose switch pipelines are inspected (read-only).
+    specs:
+        Optional declared policy intents (``PolicySpec`` instances);
+        source routes and pinned peering paths are verified against the
+        rules actually installed.
+    ingress:
+        ``"edge"`` (default) injects classes only at host-facing switch
+        ports — the places traffic genuinely enters the fabric;
+        ``"all"`` injects at every connected switch port, which is
+        stricter but can flag transit-only states real traffic never
+        reaches.
+    max_hops:
+        Walk-depth backstop; defaults to ``4 * switches + 8``.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        specs: Optional[Sequence[object]] = None,
+        ingress: str = INGRESS_EDGE,
+        max_hops: Optional[int] = None,
+    ) -> None:
+        if ingress not in (INGRESS_EDGE, INGRESS_ALL):
+            raise ValueError(f"ingress must be 'edge' or 'all', got {ingress!r}")
+        self.topology = topology
+        self.specs = list(specs) if specs is not None else []
+        self.ingress = ingress
+        self.max_hops = (
+            max_hops
+            if max_hops is not None
+            else 4 * max(1, len(topology.switches)) + 8
+        )
+
+    # ------------------------------------------------------------------
+    # Injection points
+    # ------------------------------------------------------------------
+    def edge_ports(self) -> List[Tuple[Switch, int]]:
+        """(switch, port-number) pairs where hosts attach."""
+        return self.topology.edge_ports()
+
+    def all_ports(self) -> List[Tuple[Switch, int]]:
+        points: List[Tuple[Switch, int]] = []
+        for switch in self.topology.switches:
+            for number, port in sorted(switch.ports.items()):
+                if port.connected:
+                    points.append((switch, number))
+        return points
+
+    def _attachment(self, host_name: str) -> Optional[Tuple[Switch, int]]:
+        """The switch-side port where a host plugs into the fabric."""
+        try:
+            return self.topology.attachment(host_name)
+        except HorseError:
+            return None
+
+    def injection_points(
+        self, traffic_class: TrafficClass
+    ) -> List[Tuple[Switch, int]]:
+        """Where a class can plausibly enter the fabric.
+
+        A class whose witness source address belongs to a known host is
+        injected only at that host's attachment port — traffic "from
+        h1" cannot appear at another edge.  Classes with no resolvable
+        origin are injected at every selected ingress port, except the
+        destination host's own attachment: traffic *to* a host never
+        enters the fabric at that host's port (and OpenFlow's in-port
+        output suppression would misread the hairpin as a blackhole).
+        """
+        points: List[Tuple[Switch, int]] = []
+        if traffic_class.origin_hosts:
+            for name in traffic_class.origin_hosts:
+                attachment = self._attachment(name)
+                if attachment is not None:
+                    points.append(attachment)
+        if not points:
+            candidates = (
+                self.all_ports() if self.ingress == INGRESS_ALL else self.edge_ports()
+            )
+            points = [
+                (switch, number)
+                for switch, number in candidates
+                if not self._is_destination_port(switch, number, traffic_class)
+            ]
+        return points
+
+    def _is_destination_port(
+        self, switch: Switch, number: int, traffic_class: TrafficClass
+    ) -> bool:
+        """True when the port attaches the class's own destination host."""
+        port = switch.ports.get(number)
+        peer = port.peer if port is not None else None
+        if peer is None or not isinstance(peer.node, Host):
+            return False
+        host = peer.node
+        headers = traffic_class.headers
+        if headers.ip_dst is not None and host.ip == headers.ip_dst:
+            return True
+        return headers.eth_dst is not None and host.mac == headers.eth_dst
+
+    # ------------------------------------------------------------------
+    # Analysis passes
+    # ------------------------------------------------------------------
+    def analyze(self) -> AnalysisReport:
+        """Run every pass and return the aggregated report."""
+        report = AnalysisReport(
+            switches_analyzed=len(self.topology.switches),
+        )
+        report.extend(self._table_pass())
+        classes = derive_traffic_classes(self.topology)
+        report.classes_analyzed = len(classes)
+        report.extend(self._graph_pass(classes, report))
+        report.extend(self._intent_pass())
+        return report
+
+    def _table_pass(self) -> List[Finding]:
+        findings: List[Finding] = []
+        for switch in self.topology.switches:
+            if switch.pipeline is not None:
+                findings.extend(find_table_findings(switch.pipeline))
+        return findings
+
+    def _graph_pass(
+        self, classes: Iterable[TrafficClass], report: AnalysisReport
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        seen: Set[Tuple[str, str, Tuple[str, ...], str]] = set()
+        for traffic_class in classes:
+            for switch, port in self.injection_points(traffic_class):
+                report.injections += 1
+                trace = trace_class(traffic_class, switch, port, self.max_hops)
+                findings.extend(self._trace_findings(trace, seen))
+        return findings
+
+    def _trace_findings(
+        self,
+        trace: ClassTrace,
+        seen: Set[Tuple[str, str, Tuple[str, ...], str]],
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        description = trace.traffic_class.description
+        for outcome in trace.outcomes:
+            if outcome.kind == OUTCOME_LOOP:
+                key = (KIND_LOOP, description, outcome.path, outcome.detail)
+                if key in seen:
+                    continue
+                seen.add(key)
+                findings.append(
+                    Finding(
+                        kind=KIND_LOOP,
+                        severity=SEVERITY_ERROR,
+                        message=(
+                            f"class [{description}] loops: {outcome.detail}"
+                        ),
+                        switch=trace.ingress_switch,
+                        path=outcome.path,
+                        traffic_class=description,
+                    )
+                )
+            elif outcome.kind == OUTCOME_STUCK:
+                key = (KIND_BLACKHOLE, description, outcome.path, outcome.detail)
+                if key in seen:
+                    continue
+                seen.add(key)
+                findings.append(
+                    Finding(
+                        kind=KIND_BLACKHOLE,
+                        severity=SEVERITY_ERROR,
+                        message=(
+                            f"class [{description}] blackholes: "
+                            f"{outcome.detail} (no egress, no explicit drop)"
+                        ),
+                        switch=outcome.path[-1] if outcome.path else None,
+                        path=outcome.path,
+                        traffic_class=description,
+                    )
+                )
+        return findings
+
+    # ------------------------------------------------------------------
+    # Intent verification
+    # ------------------------------------------------------------------
+    def _intent_pass(self) -> List[Finding]:
+        # Imported lazily: the control package is a consumer of this
+        # module (Controller.verify), so module-level imports would be
+        # circular-import bait.
+        from ..control.policy.spec import AppPeeringSpec, SourceRoutingSpec
+
+        findings: List[Finding] = []
+        for spec in self.specs:
+            if isinstance(spec, SourceRoutingSpec):
+                headers = self._pair_headers(spec.src, spec.dst)
+                if headers is None:
+                    continue
+                findings.extend(
+                    self._check_path_intent(
+                        kind="source route",
+                        src=spec.src,
+                        dst=spec.dst,
+                        declared_path=tuple(spec.path),
+                        headers=headers,
+                    )
+                )
+            elif isinstance(spec, AppPeeringSpec) and spec.path is not None:
+                headers = self._peering_headers(spec.src, spec.dst, spec.app)
+                if headers is None:
+                    continue
+                findings.extend(
+                    self._check_path_intent(
+                        kind=f"{spec.app} peering path",
+                        src=spec.src,
+                        dst=spec.dst,
+                        declared_path=tuple(spec.path),
+                        headers=headers,
+                    )
+                )
+        return findings
+
+    def _pair_headers(self, src: str, dst: str) -> Optional[HeaderFields]:
+        try:
+            src_host = self.topology.host(src)
+            dst_host = self.topology.host(dst)
+        except HorseError:
+            return None
+        # Carry both L2 and L3 addresses so the witness matches rules
+        # regardless of whether forwarding keys on eth_dst or ip_dst.
+        return HeaderFields(
+            eth_src=src_host.mac,
+            eth_dst=dst_host.mac,
+            ip_src=src_host.ip,
+            ip_dst=dst_host.ip,
+        )
+
+    def _peering_headers(
+        self, src: str, dst: str, app: object
+    ) -> Optional[HeaderFields]:
+        from ..control.apps.app_peering import app_port
+
+        base = self._pair_headers(src, dst)
+        if base is None:
+            return None
+        try:
+            port = app_port(app)
+        except HorseError:
+            return None
+        return base.with_fields(
+            eth_type=EthType.IPV4, ip_proto=IpProto.TCP, tp_dst=port
+        )
+
+    def _check_path_intent(
+        self,
+        kind: str,
+        src: str,
+        dst: str,
+        declared_path: Tuple[str, ...],
+        headers: HeaderFields,
+    ) -> List[Finding]:
+        attachment = self._attachment(src)
+        if attachment is None:
+            return []
+        switch, port = attachment
+        traffic_class = class_for_headers(
+            self.topology, headers, description=f"{kind} {src}->{dst}"
+        )
+        trace = trace_class(traffic_class, switch, port, self.max_hops)
+        delivered = [
+            o
+            for o in trace.outcomes
+            if o.kind == OUTCOME_DELIVERED and o.host == dst
+        ]
+        if not delivered:
+            reasons = sorted(
+                {o.detail for o in trace.outcomes if o.detail}
+            ) or ["traffic never reaches the destination"]
+            return [
+                Finding(
+                    kind=KIND_REACHABILITY,
+                    severity=SEVERITY_ERROR,
+                    message=(
+                        f"{kind} {src}->{dst} is not realized by the "
+                        f"installed rules: {'; '.join(reasons)}"
+                    ),
+                    switch=switch.name,
+                    path=declared_path,
+                    traffic_class=traffic_class.description,
+                )
+            ]
+        # Declared path includes the end hosts; the trace path is
+        # switch names starting at the ingress switch plus the host.
+        expected = tuple(declared_path[1:-1])
+        actual_paths = {o.path[:-1] for o in delivered}
+        if expected and all(path != expected for path in actual_paths):
+            shown = "; ".join(sorted(" -> ".join(p) for p in actual_paths))
+            return [
+                Finding(
+                    kind=KIND_PATH_DEVIATION,
+                    severity=SEVERITY_WARNING,
+                    message=(
+                        f"{kind} {src}->{dst} declared via "
+                        f"{' -> '.join(expected)} but traffic takes {shown}"
+                    ),
+                    switch=switch.name,
+                    path=declared_path,
+                    traffic_class=traffic_class.description,
+                )
+            ]
+        return []
+
+
+def analyze_network(
+    topology: Topology,
+    specs: Optional[Sequence[object]] = None,
+    ingress: str = INGRESS_EDGE,
+    max_hops: Optional[int] = None,
+) -> AnalysisReport:
+    """Analyze a topology's installed forwarding state in one call."""
+    return DataPlaneAnalyzer(
+        topology, specs=specs, ingress=ingress, max_hops=max_hops
+    ).analyze()

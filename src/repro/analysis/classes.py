@@ -1,0 +1,126 @@
+"""Traffic equivalence classes derived from installed matches.
+
+Full Header Space Analysis tracks arbitrary wildcard-bit regions; Horse's
+match model is far narrower (exact fields plus IPv4 prefixes), so the
+analyzer scales the idea down: every distinct :class:`Match` installed
+anywhere in the network contributes one *witness* header tuple — a
+concrete representative of the traffic class that the match carves out.
+Two matches whose witnesses coincide collapse into one class, so the
+walk explores each distinct forwarding behavior once instead of once
+per rule.
+
+Witnesses keep a field unset when the generating match wildcards it;
+:class:`~repro.openflow.match.Match` treats an unset header field as
+"not present", so a witness only triggers rules at least as coarse as
+its generating match — exactly the per-class behavior the walk needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..net.address import IPv4Address, IPv4Network
+from ..net.topology import Topology
+from ..openflow.headers import HeaderFields
+from ..openflow.match import IpMatch, Match
+
+
+@dataclass(frozen=True)
+class TrafficClass:
+    """One equivalence class of traffic, represented by a witness.
+
+    Attributes
+    ----------
+    headers:
+        The concrete witness header tuple.
+    description:
+        Human-readable rendering of the generating match.
+    origin_hosts:
+        Host names whose addresses equal the witness source fields.
+        Non-empty origins restrict ingress injection to those hosts'
+        attachment ports (traffic "from h1" can only enter at h1);
+        empty means the class may enter at any edge port.
+    """
+
+    headers: HeaderFields
+    description: str
+    origin_hosts: Tuple[str, ...] = ()
+
+
+def representative_ip(pattern: IpMatch) -> IPv4Address:
+    """A concrete address inside an exact-or-prefix IP pattern."""
+    if isinstance(pattern, IPv4Network):
+        base = int(pattern.network)
+        if pattern.prefix_len >= 31:
+            return IPv4Address(base)
+        # Skip the network address so the witness looks like host traffic.
+        return IPv4Address(base + 1)
+    return pattern
+
+
+def witness_for(match: Match) -> HeaderFields:
+    """Concretize a match into one header tuple inside its class."""
+    return HeaderFields(
+        eth_src=match.eth_src,
+        eth_dst=match.eth_dst,
+        eth_type=match.eth_type,
+        vlan_vid=match.vlan_vid,
+        ip_src=representative_ip(match.ip_src) if match.ip_src is not None else None,
+        ip_dst=representative_ip(match.ip_dst) if match.ip_dst is not None else None,
+        ip_proto=match.ip_proto,
+        tp_src=match.tp_src,
+        tp_dst=match.tp_dst,
+    )
+
+
+def _origins(topology: Topology, headers: HeaderFields) -> Tuple[str, ...]:
+    names = []
+    for host in topology.hosts:
+        if headers.ip_src is not None and host.ip == headers.ip_src:
+            names.append(host.name)
+        elif headers.eth_src is not None and host.mac == headers.eth_src:
+            names.append(host.name)
+    return tuple(sorted(set(names)))
+
+
+def derive_traffic_classes(topology: Topology) -> List[TrafficClass]:
+    """The witness classes for the union of installed matches.
+
+    Deterministic: classes are sorted by their witness rendering, and
+    duplicate witnesses (matches installed on many switches, or equal
+    matches from different rules) collapse into one class.
+    """
+    by_witness: Dict[HeaderFields, TrafficClass] = {}
+    for switch in topology.switches:
+        pipeline = switch.pipeline
+        if pipeline is None:
+            continue
+        for table in pipeline.tables:
+            for entry in table.entries:
+                if entry.match.is_wildcard_all:
+                    # The all-wildcard class is every packet at once; a
+                    # table-miss-style rule defines the default behavior
+                    # other classes already exercise, and a witness with
+                    # no fields set matches nothing more specific.
+                    continue
+                headers = witness_for(entry.match)
+                if headers in by_witness:
+                    continue
+                by_witness[headers] = TrafficClass(
+                    headers=headers,
+                    description=entry.match.describe(),
+                    origin_hosts=_origins(topology, headers),
+                )
+    return sorted(by_witness.values(), key=lambda c: c.headers.describe())
+
+
+def class_for_headers(
+    topology: Topology, headers: HeaderFields, description: Optional[str] = None
+) -> TrafficClass:
+    """Wrap explicit headers (e.g. an intent witness) as a class."""
+    return TrafficClass(
+        headers=headers,
+        description=description or headers.describe(),
+        origin_hosts=_origins(topology, headers),
+    )

@@ -1,0 +1,169 @@
+"""Typed findings produced by the data-plane static analyzer.
+
+A :class:`Finding` is one verified defect (or observation) about the
+installed forwarding state: a loop, a blackhole, a shadowed rule, a
+same-priority conflict, or a policy intent the rules fail to realize.
+:class:`AnalysisReport` aggregates findings with severity accounting and
+renders the human/JSON reports the ``repro analyze`` subcommand prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Severity levels, most severe first.
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+SEVERITY_INFO = "info"
+
+_SEVERITY_ORDER = {SEVERITY_ERROR: 0, SEVERITY_WARNING: 1, SEVERITY_INFO: 2}
+
+#: Finding kinds emitted by the analyzer.
+KIND_LOOP = "loop"
+KIND_BLACKHOLE = "blackhole"
+KIND_SHADOWED_RULE = "shadowed_rule"
+KIND_REDUNDANT_RULE = "redundant_rule"
+KIND_RULE_CONFLICT = "rule_conflict"
+KIND_REACHABILITY = "reachability"
+KIND_PATH_DEVIATION = "path_deviation"
+KIND_COMPOSITION = "composition"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-analysis finding.
+
+    Attributes
+    ----------
+    kind:
+        One of the ``KIND_*`` constants (loop, blackhole, ...).
+    severity:
+        ``error`` (forwarding is broken), ``warning`` (suspicious or
+        dead state), or ``info`` (benign observation).
+    message:
+        Human-readable one-line description.
+    switch:
+        Switch where the defect manifests (when localizable).
+    table_id:
+        Flow table involved (rule-level findings).
+    path:
+        Switch-name walk relevant to the finding (loops, blackholes,
+        intent checks).
+    traffic_class:
+        ``describe()`` rendering of the witness header tuple that
+        exhibits the behavior (graph-level findings).
+    """
+
+    kind: str
+    severity: str
+    message: str
+    switch: Optional[str] = None
+    table_id: Optional[int] = None
+    path: Tuple[str, ...] = ()
+    traffic_class: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable rendering."""
+        record: Dict[str, object] = {
+            "kind": self.kind,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.switch is not None:
+            record["switch"] = self.switch
+        if self.table_id is not None:
+            record["table_id"] = self.table_id
+        if self.path:
+            record["path"] = list(self.path)
+        if self.traffic_class is not None:
+            record["traffic_class"] = self.traffic_class
+        return record
+
+    def __str__(self) -> str:
+        location = f" [{self.switch}]" if self.switch else ""
+        return f"{self.severity.upper()} {self.kind}{location}: {self.message}"
+
+
+@dataclass
+class AnalysisReport:
+    """The full result of one analyzer run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    classes_analyzed: int = 0
+    switches_analyzed: int = 0
+    injections: int = 0
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == SEVERITY_ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == SEVERITY_WARNING]
+
+    @property
+    def infos(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == SEVERITY_INFO]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding was produced."""
+        return not self.errors
+
+    def by_kind(self, kind: str) -> List[Finding]:
+        return [f for f in self.findings if f.kind == kind]
+
+    def sorted_findings(self) -> List[Finding]:
+        """Findings ordered by severity, then kind, then location."""
+        return sorted(
+            self.findings,
+            key=lambda f: (
+                _SEVERITY_ORDER.get(f.severity, 3),
+                f.kind,
+                f.switch or "",
+                f.message,
+            ),
+        )
+
+    def extend(self, findings: List[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def exit_code(self, strict: bool = False) -> int:
+        """Process exit code: 1 on errors (or warnings when strict)."""
+        if self.errors:
+            return 1
+        if strict and self.warnings:
+            return 1
+        return 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "classes_analyzed": self.classes_analyzed,
+            "switches_analyzed": self.switches_analyzed,
+            "injections": self.injections,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "infos": len(self.infos),
+            "findings": [f.to_dict() for f in self.sorted_findings()],
+        }
+
+    def summary_text(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"analyzed {self.classes_analyzed} traffic classes over "
+            f"{self.switches_analyzed} switches "
+            f"({self.injections} ingress injections)"
+        ]
+        if not self.findings:
+            lines.append("no findings: forwarding state verified clean")
+            return "\n".join(lines)
+        lines.append(
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.infos)} info"
+        )
+        for finding in self.sorted_findings():
+            lines.append(f"  {finding}")
+            if finding.path:
+                lines.append(f"      path: {' -> '.join(finding.path)}")
+        return "\n".join(lines)

@@ -1,0 +1,244 @@
+"""Per-class forwarding-graph traversal over the whole fabric.
+
+Injects a traffic class at an ingress port and follows every branch the
+installed rules can take — across tables (walker), group fan-out, and
+links — classifying each terminal branch:
+
+* ``delivered`` — traffic reached a host port.
+* ``dropped`` — an explicit Drop action fired (intended blackholing).
+* ``controller`` — punted to the controller (reactive forwarding).
+* ``loop`` — a (switch, in_port, headers) state repeated along one
+  branch: traffic circulates forever.
+* ``stuck`` — the class made forward progress (matched at least one
+  rule) but then vanished: a table miss mid-path, an output to a
+  down/unconnected port, or a dead fast-failover group.  This is the
+  blackhole the analyzer reports.
+* ``unmatched`` — no rule at the injection switch matched at all; the
+  class simply does not occur at this ingress (not a defect).
+* ``hairpin`` — the only emissions were suppressed outputs back to the
+  ingress port; real traffic cannot arrive the way the injection did
+  (an ``ingress="all"`` artifact, not a defect).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Tuple
+
+from ..net.node import Host, Switch
+from ..openflow.headers import HeaderFields
+from .classes import TrafficClass
+from .walker import walk_pipeline
+
+OUTCOME_DELIVERED = "delivered"
+OUTCOME_DROPPED = "dropped"
+OUTCOME_CONTROLLER = "controller"
+OUTCOME_LOOP = "loop"
+OUTCOME_STUCK = "stuck"
+OUTCOME_UNMATCHED = "unmatched"
+OUTCOME_HAIRPIN = "hairpin"
+
+
+@dataclass(frozen=True)
+class BranchOutcome:
+    """The fate of one branch of a class's forwarding graph."""
+
+    kind: str
+    path: Tuple[str, ...]
+    host: Optional[str] = None
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class ClassTrace:
+    """All branch outcomes for one (class, ingress) injection."""
+
+    traffic_class: TrafficClass
+    ingress_switch: str
+    ingress_port: int
+    outcomes: Tuple[BranchOutcome, ...]
+
+    def outcomes_of(self, kind: str) -> List[BranchOutcome]:
+        return [o for o in self.outcomes if o.kind == kind]
+
+    @property
+    def delivered_hosts(self) -> List[str]:
+        return sorted(
+            {o.host for o in self.outcomes if o.kind == OUTCOME_DELIVERED and o.host}
+        )
+
+
+_State = Tuple[str, int, HeaderFields]
+
+
+def trace_class(
+    traffic_class: TrafficClass,
+    ingress_switch: Switch,
+    ingress_port: int,
+    max_hops: int,
+) -> ClassTrace:
+    """Trace one class from one ingress through the forwarding graph."""
+    outcomes: List[BranchOutcome] = []
+    _walk(
+        ingress_switch,
+        ingress_port,
+        traffic_class.headers,
+        frozenset(),
+        (ingress_switch.name,),
+        outcomes,
+        max_hops,
+    )
+    return ClassTrace(
+        traffic_class=traffic_class,
+        ingress_switch=ingress_switch.name,
+        ingress_port=ingress_port,
+        outcomes=tuple(outcomes),
+    )
+
+
+def _walk(
+    switch: Switch,
+    in_port: int,
+    headers: HeaderFields,
+    visited: FrozenSet[_State],
+    path: Tuple[str, ...],
+    outcomes: List[BranchOutcome],
+    max_hops: int,
+) -> None:
+    state: _State = (switch.name, in_port, headers)
+    if state in visited:
+        outcomes.append(
+            BranchOutcome(
+                kind=OUTCOME_LOOP,
+                path=path,
+                detail=f"state repeats at {switch.name}:{in_port}",
+            )
+        )
+        return
+    if len(path) > max_hops:
+        outcomes.append(
+            BranchOutcome(
+                kind=OUTCOME_LOOP,
+                path=path,
+                detail=f"exceeded {max_hops} hops (unbounded walk)",
+            )
+        )
+        return
+    if switch.pipeline is None:
+        outcomes.append(
+            BranchOutcome(
+                kind=OUTCOME_STUCK, path=path, detail=f"{switch.name} has no pipeline"
+            )
+        )
+        return
+    visited = visited | {state}
+    progressed = len(path) > 1
+    for walk_state in walk_pipeline(switch.pipeline, headers, in_port):
+        if walk_state.dropped:
+            outcomes.append(BranchOutcome(kind=OUTCOME_DROPPED, path=path))
+            continue
+        if not walk_state.outputs:
+            if walk_state.to_controller:
+                outcomes.append(BranchOutcome(kind=OUTCOME_CONTROLLER, path=path))
+            elif walk_state.miss and not progressed:
+                outcomes.append(
+                    BranchOutcome(
+                        kind=OUTCOME_UNMATCHED,
+                        path=path,
+                        detail=f"no rule matches at ingress {switch.name}",
+                    )
+                )
+            elif walk_state.dead_group:
+                outcomes.append(
+                    BranchOutcome(
+                        kind=OUTCOME_STUCK,
+                        path=path,
+                        detail=f"group on {switch.name} has no live bucket",
+                    )
+                )
+            elif walk_state.missed_table is not None:
+                outcomes.append(
+                    BranchOutcome(
+                        kind=OUTCOME_STUCK,
+                        path=path,
+                        detail=(
+                            f"table {walk_state.missed_table} miss on "
+                            f"{switch.name} (implicit drop)"
+                        ),
+                    )
+                )
+            elif walk_state.suppressed:
+                # Every emission was OpenFlow's in-port suppression: the
+                # rule pointed traffic back where it came from.  A real
+                # packet cannot arrive here heading that way, so this is
+                # a hairpin artifact of the injection, not a blackhole.
+                outcomes.append(
+                    BranchOutcome(
+                        kind=OUTCOME_HAIRPIN,
+                        path=path,
+                        detail=(
+                            f"{switch.name} forwards the class back out "
+                            "its ingress port (suppressed hairpin)"
+                        ),
+                    )
+                )
+            else:
+                outcomes.append(
+                    BranchOutcome(
+                        kind=OUTCOME_STUCK,
+                        path=path,
+                        detail=(
+                            f"rules matched on {switch.name} but emitted no "
+                            "output (empty action set)"
+                        ),
+                    )
+                )
+            continue
+        for out_number, out_headers in walk_state.outputs:
+            port = switch.ports.get(out_number)
+            if port is None or not port.connected or port.link is None:
+                outcomes.append(
+                    BranchOutcome(
+                        kind=OUTCOME_STUCK,
+                        path=path,
+                        detail=(
+                            f"output to {switch.name}:{out_number}, which has "
+                            "no attached link"
+                        ),
+                    )
+                )
+                continue
+            if not port.up or not port.link.up:
+                outcomes.append(
+                    BranchOutcome(
+                        kind=OUTCOME_STUCK,
+                        path=path,
+                        detail=(
+                            f"output to {switch.name}:{out_number}, whose link "
+                            "is down"
+                        ),
+                    )
+                )
+                continue
+            peer = port.peer
+            if peer is None:  # pragma: no cover - connected implies a peer
+                continue
+            if isinstance(peer.node, Host):
+                outcomes.append(
+                    BranchOutcome(
+                        kind=OUTCOME_DELIVERED,
+                        path=path + (peer.node.name,),
+                        host=peer.node.name,
+                    )
+                )
+                continue
+            if isinstance(peer.node, Switch):
+                _walk(
+                    peer.node,
+                    peer.number,
+                    out_headers,
+                    visited,
+                    path + (peer.node.name,),
+                    outcomes,
+                    max_hops,
+                )

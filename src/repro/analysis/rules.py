@@ -1,0 +1,165 @@
+"""Rule-level table analysis: shadowing, redundancy, and conflicts.
+
+Three defect shapes per flow table:
+
+* **Shadowed rule** — a higher-priority entry's match subsumes a
+  lower-priority entry's match and their instructions differ: the lower
+  entry can never fire, yet reads as if it changes behavior.
+* **Redundant rule** — same subsumption but with identical
+  instructions: dead weight, behavior-preserving.
+* **Same-priority conflict** — two entries at one priority overlap with
+  diverging instructions: which one wins depends on insertion order,
+  the "inconsistencies might occur even assuming completely independent
+  policies" case the Horse poster warns about.
+
+The scan buckets entries by priority so same-priority overlap checks
+stay inside one bucket and cross-priority subsumption only compares a
+bucket against strictly-higher buckets — replacing the old flat
+O(n²)-over-the-whole-table pairwise pass from
+``repro.control.policy.validation``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Tuple
+
+from ..openflow.flowtable import FlowEntry, FlowTable
+from ..openflow.switch import OpenFlowPipeline
+from .findings import (
+    Finding,
+    KIND_REDUNDANT_RULE,
+    KIND_RULE_CONFLICT,
+    KIND_SHADOWED_RULE,
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+)
+
+
+def _priority_buckets(table: FlowTable) -> "OrderedDict[int, List[FlowEntry]]":
+    """Entries grouped by priority, highest priority first.
+
+    ``table.entries`` is already sorted by descending priority, so one
+    linear pass builds the buckets in order.
+    """
+    buckets: "OrderedDict[int, List[FlowEntry]]" = OrderedDict()
+    for entry in table.entries:
+        buckets.setdefault(entry.priority, []).append(entry)
+    return buckets
+
+
+def iter_table_anomalies(
+    table: FlowTable,
+) -> List[Tuple[str, FlowEntry, FlowEntry]]:
+    """Raw (kind, blocking_entry, blocked_entry) anomalies in one table.
+
+    Kinds: ``overlap`` (same priority, diverging instructions),
+    ``shadow`` (higher subsumes lower, diverging instructions),
+    ``redundant`` (higher subsumes lower, identical instructions).
+    """
+    anomalies: List[Tuple[str, FlowEntry, FlowEntry]] = []
+    buckets = _priority_buckets(table)
+    higher: List[FlowEntry] = []
+    for entries in buckets.values():
+        # Same-priority overlaps within the bucket.
+        for i, a in enumerate(entries):
+            for b in entries[i + 1 :]:
+                if a.instructions != b.instructions and a.match.overlaps(b.match):
+                    anomalies.append(("overlap", a, b))
+        # Cross-priority shadowing against every strictly-higher bucket.
+        for entry in entries:
+            for above in higher:
+                if above.match.subsumes(entry.match):
+                    kind = (
+                        "redundant"
+                        if above.instructions == entry.instructions
+                        else "shadow"
+                    )
+                    anomalies.append((kind, above, entry))
+                    break  # first subsumer is enough to kill the entry
+        higher.extend(entries)
+    return anomalies
+
+
+def detect_rule_conflicts(pipeline: OpenFlowPipeline) -> List[Dict[str, object]]:
+    """Conflicting entries in a switch pipeline, as records.
+
+    Finds same-priority overlapping entries with diverging instructions
+    (``kind="overlap"``, the historical behavior) and cross-priority
+    shadowing where a higher-priority entry subsumes a lower one with
+    different instructions (``kind="shadow"``).  Fully-redundant
+    shadowing (identical instructions) is not a conflict and is left to
+    :func:`find_table_findings`.
+    """
+    findings: List[Dict[str, object]] = []
+    for table in pipeline.tables:
+        for kind, a, b in iter_table_anomalies(table):
+            if kind == "redundant":
+                continue
+            record: Dict[str, object] = {
+                "kind": kind,
+                "switch": pipeline.switch.name,
+                "table_id": table.table_id,
+                "priority": a.priority,
+                "match_a": a.match,
+                "match_b": b.match,
+            }
+            if kind == "shadow":
+                record["shadowed_priority"] = b.priority
+            findings.append(record)
+    return findings
+
+
+def find_table_findings(pipeline: OpenFlowPipeline) -> List[Finding]:
+    """Typed findings for every rule-level anomaly in a pipeline."""
+    findings: List[Finding] = []
+    name = pipeline.switch.name
+    for table in pipeline.tables:
+        for kind, a, b in iter_table_anomalies(table):
+            if kind == "overlap":
+                findings.append(
+                    Finding(
+                        kind=KIND_RULE_CONFLICT,
+                        severity=SEVERITY_WARNING,
+                        message=(
+                            f"priority-{a.priority} entries overlap with "
+                            f"diverging instructions: {a.match.describe()} vs "
+                            f"{b.match.describe()} (winner depends on "
+                            "insertion order)"
+                        ),
+                        switch=name,
+                        table_id=table.table_id,
+                    )
+                )
+            elif kind == "shadow":
+                findings.append(
+                    Finding(
+                        kind=KIND_SHADOWED_RULE,
+                        severity=SEVERITY_WARNING,
+                        message=(
+                            f"priority-{b.priority} entry "
+                            f"[{b.match.describe()}] can never match: "
+                            f"priority-{a.priority} entry "
+                            f"[{a.match.describe()}] subsumes it with "
+                            "different instructions"
+                        ),
+                        switch=name,
+                        table_id=table.table_id,
+                    )
+                )
+            else:  # redundant
+                findings.append(
+                    Finding(
+                        kind=KIND_REDUNDANT_RULE,
+                        severity=SEVERITY_INFO,
+                        message=(
+                            f"priority-{b.priority} entry "
+                            f"[{b.match.describe()}] is redundant: "
+                            f"priority-{a.priority} entry with identical "
+                            "instructions subsumes it"
+                        ),
+                        switch=name,
+                        table_id=table.table_id,
+                    )
+                )
+    return findings

@@ -32,13 +32,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from .core import Horse, HorseConfig
 from .errors import ExperimentError, HorseError
 from .net.generators import fat_tree, leaf_spine, linear, single_switch
-from .net.io import load_topology, save_topology, topology_from_dict
-from .net.topology import Topology
+from .net.io import load_topology, save_topology
 from .stats.export import flows_to_csv, result_to_json, summary_text
 from .traffic.matrix import TrafficMatrix
 from .control.policy.spec import parse_rate
@@ -140,6 +139,41 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Statically verify the forwarding state a scenario would install."""
+    from .analysis import analyze_network
+
+    with open(args.scenario) as handle:
+        scenario = json.load(handle)
+    topology, _ = _build_topology(scenario.get("topology", {}))
+    config = HorseConfig(
+        engine=scenario.get("engine", "flow"),
+        seed=scenario.get("seed", 0),
+    )
+    horse = Horse(
+        topology, policies=scenario.get("policies") or {}, config=config
+    )
+    horse.start_control_plane()
+    # Failures are applied *after* proactive install, so rules that
+    # predate the failure go stale — exactly the defect class the
+    # analyzer exists to catch.
+    for a, b in args.fail_link or []:
+        topology.fail_link(a, b)
+        print(f"failed link {a} <-> {b}")
+    report = analyze_network(
+        topology,
+        specs=horse.compiled.specs if horse.compiled else None,
+        ingress=args.ingress,
+    )
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote analysis report to {args.json}")
+    print(report.summary_text())
+    return report.exit_code(strict=args.strict)
+
+
 def cmd_topo(args: argparse.Namespace) -> int:
     spec = {"kind": args.kind}
     if args.k is not None:
@@ -188,6 +222,32 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--flows-csv", help="write per-flow records here")
     run_p.add_argument("--json", help="write the full run document here")
     run_p.set_defaults(func=cmd_run)
+
+    an_p = sub.add_parser(
+        "analyze",
+        help="statically verify the forwarding state a scenario installs",
+    )
+    an_p.add_argument("scenario", help="scenario JSON path")
+    an_p.add_argument(
+        "--fail-link",
+        nargs=2,
+        action="append",
+        metavar=("A", "B"),
+        help="bring a link down after rule install (repeatable)",
+    )
+    an_p.add_argument(
+        "--ingress",
+        choices=["edge", "all"],
+        default="edge",
+        help="inject classes at host-facing ports only (edge) or all ports",
+    )
+    an_p.add_argument("--json", help="write the structured report here")
+    an_p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings too",
+    )
+    an_p.set_defaults(func=cmd_analyze)
 
     topo_p = sub.add_parser("topo", help="generate a topology file")
     topo_p.add_argument(

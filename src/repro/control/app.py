@@ -10,7 +10,7 @@ returns a packet-out decision wins (simple sequential composition — see
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from ..openflow.action import Instruction
 from ..openflow.match import Match

@@ -11,8 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Union
 
-from ...errors import ControlPlaneError, TopologyError
-from ...net.address import IPv4Address, IPv4Network
+from ...errors import ControlPlaneError
 from ...openflow.action import ApplyActions, Output
 from ...openflow.headers import AppPort, EthType, IpProto
 from ...openflow.match import Match

@@ -6,7 +6,7 @@ high-priority drop rules, installed fabric-wide or at the edge only.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Iterable, List, Sequence, Union
 
 from ...errors import ControlPlaneError
 from ...net.address import IPv4Address, IPv4Network, MacAddress

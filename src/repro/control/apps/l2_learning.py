@@ -14,9 +14,7 @@ from typing import Dict, List, Optional, Tuple
 from ...net.address import MacAddress
 from ...openflow.action import (
     ApplyActions,
-    Flood,
-    GotoTable,
-    Output,
+            Output,
     PORT_FLOOD,
     ToController,
 )

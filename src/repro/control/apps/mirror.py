@@ -15,7 +15,7 @@ shortest path (the same decision ShortestPathApp makes).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ...errors import ControlPlaneError
 from ...net.node import Host

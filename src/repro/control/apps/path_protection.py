@@ -11,7 +11,7 @@ classic argument for OpenFlow group tables.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ...errors import ControlPlaneError
 from ...net.node import Host, Switch

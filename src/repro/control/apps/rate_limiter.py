@@ -12,10 +12,10 @@ the app standalone with a single-table pipeline raises a clear error.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence
 
 from ...errors import ControlPlaneError
-from ...openflow.action import ApplyActions, GotoTable, MeterInstruction
+from ...openflow.action import GotoTable, MeterInstruction
 from ...openflow.match import Match
 from ..app import ControllerApp
 

@@ -9,11 +9,11 @@ converges after link failures without per-flow controller involvement.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Optional
+from typing import Dict
 
 from ...errors import ControlPlaneError
-from ...net.node import Host, Node, Switch
-from ...openflow.action import ApplyActions, GotoTable, Output
+from ...net.node import Host, Switch
+from ...openflow.action import ApplyActions, Output
 from ...openflow.match import Match
 from ...openflow.messages import PortStatus
 from ..app import ControllerApp

@@ -13,7 +13,7 @@ re-routed.
 from __future__ import annotations
 
 import logging
-from typing import Dict, List, Optional, Callable
+from typing import List, Optional
 
 from ..errors import ControlPlaneError, OpenFlowError, UnknownDatapathError
 from ..net.topology import Topology

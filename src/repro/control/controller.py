@@ -10,7 +10,7 @@ from high-level specs.
 from __future__ import annotations
 
 import logging
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..errors import ControlPlaneError
 from ..openflow.messages import (
@@ -133,6 +133,42 @@ class Controller:
 
     def on_reply(self, message: Message) -> None:
         """Asynchronous stats replies land here (latency > 0 channels)."""
+
+    # ------------------------------------------------------------------
+    # Verification
+    # ------------------------------------------------------------------
+    def verify(
+        self,
+        specs: Optional[List] = None,
+        strict: bool = False,
+        raise_on_error: bool = True,
+    ):
+        """Statically verify the installed forwarding state.
+
+        Runs the data-plane analyzer (:mod:`repro.analysis`) over the
+        attached topology: loops, blackholes, shadowed rules, and —
+        when ``specs`` carry path intents — reachability checks.
+
+        Parameters
+        ----------
+        specs:
+            Declared policy intents to verify against (e.g. the
+            ``specs`` field of a :class:`CompiledPolicy`).
+        strict:
+            Treat warnings as failures too.
+        raise_on_error:
+            Raise :class:`~repro.errors.VerificationError` when the
+            report fails; pass False to always get the report back.
+        """
+        if self.channel is None:
+            raise ControlPlaneError("controller has no channel attached")
+        from ..analysis import analyze_network
+        from ..errors import VerificationError
+
+        report = analyze_network(self.channel.topology, specs=specs)
+        if raise_on_error and report.exit_code(strict=strict):
+            raise VerificationError(report.summary_text())
+        return report
 
     # ------------------------------------------------------------------
     # Introspection

@@ -11,7 +11,7 @@ whose apps emit the actual flow-mods when started.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 from ...errors import PolicyValidationError
 from ...net.address import AddressError, IPv4Address, IPv4Network, MacAddress
@@ -53,6 +53,9 @@ class CompiledPolicy:
     plan: CompositionPlan
     warnings: List[Conflict] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    #: The (post-subsumption) specs that were compiled; the static
+    #: analyzer verifies installed rules against these intents.
+    specs: List[PolicySpec] = field(default_factory=list)
 
     @property
     def num_tables(self) -> int:
@@ -115,7 +118,11 @@ class PolicyGenerator:
         controller = Controller(name="policy-generator")
         self._build_apps(specs, plan, controller, notes)
         return CompiledPolicy(
-            controller=controller, plan=plan, warnings=warnings, notes=notes
+            controller=controller,
+            plan=plan,
+            warnings=warnings,
+            notes=notes,
+            specs=list(specs),
         )
 
     # ------------------------------------------------------------------

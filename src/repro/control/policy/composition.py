@@ -18,17 +18,13 @@ policy kind; the compiler applies it to app instances.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple, Type
+from typing import Dict, List, Sequence, Tuple
 
 from .spec import (
-    AppPeeringSpec,
-    BlackholingSpec,
-    ForwardingSpec,
-    LoadBalancingSpec,
-    PolicySpec,
+            ForwardingSpec,
+        PolicySpec,
     RateLimitingSpec,
-    SourceRoutingSpec,
-)
+    )
 
 #: Priority bands within the forwarding stage, highest first.  Gaps let
 #: users slot custom apps between bands.

@@ -14,7 +14,7 @@ This module defines the typed equivalents of those entries, plus
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Union
 
 from ...errors import PolicyValidationError

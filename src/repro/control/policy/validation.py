@@ -9,10 +9,11 @@ of policy composition."  Implemented here as two layers:
   policy, blackholes that swallow other policies' traffic, duplicate
   limits), returning structured :class:`Conflict` records.
 
-A rule-level checker, :func:`detect_rule_conflicts`, inspects installed
-pipelines for same-priority overlapping matches with diverging actions —
-the "inconsistencies might occur even assuming completely independent
-policies" case the poster motivates.
+Rule-level checking (same-priority overlaps, cross-priority shadowing)
+lives in :mod:`repro.analysis.rules`; the :func:`detect_rule_conflicts`
+kept here is a deprecated shim that delegates to it.  For full
+data-plane verification — loops, blackholes, reachability — see
+:mod:`repro.analysis`.
 """
 
 from __future__ import annotations
@@ -176,6 +177,17 @@ def validate_composition(
         try:
             target = _parse_target(hole.target, topology)
         except PolicyValidationError:
+            # Unresolvable targets would previously vanish from the
+            # swallow check entirely; surface them so the caller knows
+            # this hole was not cross-checked against steering policies.
+            conflicts.append(
+                Conflict(
+                    "warning",
+                    f"cannot resolve blackhole target {hole.target!r}; "
+                    "skipping composition checks for it",
+                    (hole,),
+                )
+            )
             continue
         for steer in steering:
             if topology is None:
@@ -256,25 +268,21 @@ def validate_or_raise(
 
 
 def detect_rule_conflicts(pipeline: OpenFlowPipeline) -> List[dict]:
-    """Find same-priority overlapping entries with different instructions
-    within each table of a switch pipeline."""
-    findings: List[dict] = []
-    for table in pipeline.tables:
-        entries = table.entries
-        for i, a in enumerate(entries):
-            for b in entries[i + 1 :]:
-                if a.priority != b.priority:
-                    continue
-                if a.instructions == b.instructions:
-                    continue
-                if a.match.overlaps(b.match):
-                    findings.append(
-                        {
-                            "switch": pipeline.switch.name,
-                            "table_id": table.table_id,
-                            "priority": a.priority,
-                            "match_a": a.match,
-                            "match_b": b.match,
-                        }
-                    )
-    return findings
+    """Deprecated shim: use :func:`repro.analysis.rules.detect_rule_conflicts`.
+
+    The checker moved to the analysis package, where it gained
+    cross-priority shadow detection and a priority-bucketed scan in
+    place of the old same-priority-only O(n^2) pass.  This wrapper
+    preserves the import path and the dict shape for one release.
+    """
+    import warnings
+
+    from ...analysis.rules import detect_rule_conflicts as _detect
+
+    warnings.warn(
+        "repro.control.policy.validation.detect_rule_conflicts is "
+        "deprecated; use repro.analysis.rules.detect_rule_conflicts",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _detect(pipeline)

@@ -182,6 +182,23 @@ class Horse:
             raise ExperimentError("link recovery injection needs the flow engine")
         self.engine.restore_link_at(at, a, b)
 
+    def analyze(self, strict: bool = False, raise_on_error: bool = False):
+        """Statically verify the installed forwarding state.
+
+        Installs proactive policies first (idempotent), then runs the
+        data-plane analyzer over the topology, checking any compiled
+        policy intents.  Returns an
+        :class:`~repro.analysis.AnalysisReport`; with
+        ``raise_on_error=True`` a failing report raises
+        :class:`~repro.errors.VerificationError` instead.
+        """
+        self.start_control_plane()
+        return self.controller.verify(
+            specs=self.compiled.specs if self.compiled else None,
+            strict=strict,
+            raise_on_error=raise_on_error,
+        )
+
     def sync_statistics(self) -> None:
         """Bring all lazily-accrued counters up to the current instant.
 

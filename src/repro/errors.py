@@ -77,6 +77,11 @@ class PolicyConflictError(PolicyValidationError):
     """Two composed policies produce contradictory rules."""
 
 
+class VerificationError(HorseError):
+    """The data-plane static analyzer found error-severity defects
+    (loops, blackholes, unrealized intents) in the installed rules."""
+
+
 class TrafficError(HorseError):
     """Errors in traffic matrix or flow generator configuration."""
 

@@ -15,7 +15,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..errors import TopologyError
-from ..net.node import Host
 from ..net.topology import Topology
 from ..sim.rng import RngRegistry
 from .members import Member, synthesize_members

@@ -12,7 +12,7 @@ policies (e.g. a member requesting blackholing).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..errors import ControlPlaneError
 from ..net.address import IPv4Address, IPv4Network

@@ -10,8 +10,8 @@ drop rules through a :class:`~repro.control.apps.blackhole.BlackholeApp`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Set, Tuple
 
 from ..errors import ControlPlaneError
 from ..net.address import IPv4Network

@@ -8,8 +8,7 @@ block of the poster's data plane.
 
 from __future__ import annotations
 
-import heapq
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import networkx as nx
 
@@ -207,6 +206,36 @@ class Topology:
         """Iterate every link direction in the topology."""
         for link in self._links:
             yield from link.directions
+
+    def edge_ports(self) -> List[Tuple[Switch, int]]:
+        """(switch, port-number) pairs whose link attaches a host.
+
+        These are the fabric's ingress points — where traffic genuinely
+        enters — used by the data-plane static analyzer to seed its
+        forwarding-graph walks.
+        """
+        points: List[Tuple[Switch, int]] = []
+        for switch in self.switches:
+            for number, port in sorted(switch.ports.items()):
+                peer = port.peer
+                if peer is not None and isinstance(peer.node, Host):
+                    points.append((switch, number))
+        return points
+
+    def attachment(self, host: NodeRef) -> Tuple[Switch, int]:
+        """The switch-side (switch, port-number) where a host plugs in.
+
+        Resolves the host's uplink to the port on the adjacent switch —
+        the port-to-link resolution the analyzer (and reactive apps)
+        need to reason about where a host's traffic enters the fabric.
+        """
+        uplink = self.host(host).uplink_port
+        peer = uplink.peer
+        if peer is None or not isinstance(peer.node, Switch):
+            raise TopologyError(
+                f"host {self.host(host).name} is not attached to a switch"
+            )
+        return peer.node, peer.number
 
     # ------------------------------------------------------------------
     # Failure injection

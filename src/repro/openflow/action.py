@@ -10,7 +10,7 @@ and meter instructions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Tuple
 
 from .headers import HeaderFields
 

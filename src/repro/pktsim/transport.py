@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
-from ..flowsim.flow import Flow, FlowState
+from ..flowsim.flow import Flow
 from ..sim.kernel import Simulator
 from .packet import Packet
 

@@ -11,8 +11,8 @@ ports, so application-based policies see realistic fields.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from ..errors import TrafficError
 from ..flowsim.flow import Flow
