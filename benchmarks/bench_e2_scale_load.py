@@ -11,15 +11,36 @@ sweep); packet-level cost per flow is far higher because it pays per
 packet, not per flow.
 """
 
+import statistics
+
 import pytest
 
-from .harness import ixp_workload, record, rows, run_engine, write_table
+from .harness import (
+    calibration_score,
+    ixp_workload,
+    pod_workload,
+    record,
+    rows,
+    run_engine,
+    timed_solver_run,
+    update_baseline,
+    write_table,
+)
 
 MEMBERS = 16
 FLOW_FRACTIONS = [0.25, 0.5, 1.0, 2.0, 4.0]
 PACKET_FRACTIONS = [0.25, 0.5]
 FLOW_DURATION = 2.0
 PACKET_DURATION = 0.4
+
+#: Solver hot-path comparison: 40 pods x 250 continuous flows = 10k
+#: concurrent flows once the 1-second arrival spread completes.
+HOTPATH_PODS = 40
+HOTPATH_FLOWS_PER_POD = 250
+HOTPATH_UNTIL = 1.5
+#: The full solver re-solves all 10k flows per event, so one round is
+#: already minutes of wall time; the cheap incremental runs repeat.
+HOTPATH_ROUNDS = {"full": 1, "incremental": 3}
 
 
 def _run(engine: str, load_fraction: float, duration: float):
@@ -59,6 +80,72 @@ def bench_e2_packet_level(benchmark, fraction):
         _run, args=("packet", fraction, PACKET_DURATION), rounds=1, iterations=1
     )
     assert result.engine_summary["packets_delivered"] > 0
+
+
+def _hotpath_once(solver: str):
+    topo, flows = pod_workload(
+        pods=HOTPATH_PODS, flows_per_pod=HOTPATH_FLOWS_PER_POD
+    )
+    return timed_solver_run(topo, flows, solver, until=HOTPATH_UNTIL)
+
+
+@pytest.mark.parametrize("solver", ["full", "incremental"])
+def bench_e2_solver_hotpath(benchmark, solver):
+    """Incremental vs full re-solve at 10k concurrent flows.
+
+    Both modes run the identical component kernel, so the final rate
+    vectors must match bitwise; the incremental mode just re-solves only
+    the pod an arrival touched."""
+    walls = []
+    rates = []
+
+    def _once():
+        wall, rate_vector = _hotpath_once(solver)
+        walls.append(wall)
+        rates.append(rate_vector)
+        return wall
+
+    benchmark.pedantic(_once, rounds=HOTPATH_ROUNDS[solver], iterations=1)
+    record(
+        "E2-hotpath",
+        {
+            "solver": solver,
+            "flows": HOTPATH_PODS * HOTPATH_FLOWS_PER_POD,
+            "rounds": len(walls),
+            "wall_median_s": round(statistics.median(walls), 3),
+        },
+    )
+    record("E2-hotpath-rates", {"solver": solver, "rates": rates[-1]})
+
+
+def bench_e2_hotpath_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    by_solver = {r["solver"]: r for r in rows("E2-hotpath")}
+    rates = {r["solver"]: r["rates"] for r in rows("E2-hotpath-rates")}
+    # Differential gate: bitwise-identical rate vectors.
+    assert rates["full"] == rates["incremental"]
+    full_s = by_solver["full"]["wall_median_s"]
+    inc_s = by_solver["incremental"]["wall_median_s"]
+    speedup = full_s / inc_s
+    assert speedup >= 3.0, (by_solver, speedup)
+    # Refresh the committed regression baseline (normalized by machine
+    # calibration so the numbers transfer across hosts).
+    score = calibration_score()
+    update_baseline(
+        {
+            "e2_hotpath_full_10k": {
+                "wall_s": full_s,
+                "normalized": round(full_s / score, 3),
+            },
+            "e2_hotpath_incremental_10k": {
+                "wall_s": inc_s,
+                "normalized": round(inc_s / score, 3),
+            },
+            "e2_hotpath_speedup": {"value": round(speedup, 2)},
+        },
+        score,
+    )
+    write_table("E2-hotpath", "solver hot path at 10k concurrent flows")
 
 
 def bench_e2_report(benchmark):

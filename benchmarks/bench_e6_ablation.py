@@ -122,7 +122,9 @@ def _run_solver(incremental: bool):
     _install_star_rules(topo, groups)
     flows = _cluster_flows(topo, groups)
     sim = Simulator()
-    engine = FlowLevelEngine(sim, topo, incremental=incremental)
+    engine = FlowLevelEngine(
+        sim, topo, solver="incremental" if incremental else "full"
+    )
     engine.submit_all(flows)
     start = time.perf_counter()
     sim.run(until=120.0)

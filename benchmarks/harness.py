@@ -9,16 +9,26 @@ are recorded, not asserted.
 
 from __future__ import annotations
 
+import json
 import os
+import random
+import time
 from collections import defaultdict
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro import Horse, HorseConfig, RunResult
+from repro.flowsim import Flow
 from repro.ixp import IxpFabric, build_ixp
+from repro.net.topology import Topology
+from repro.openflow import ApplyActions, Match, Output, attach_pipeline
+from repro.openflow.headers import tcp_flow
 from repro.sim.rng import RngRegistry
 from repro.traffic import FlowGenConfig, IxpTraceSynthesizer
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Committed benchmark baseline (regression reference for bench-smoke).
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "BENCH_e2.json")
 
 #: exp id -> list of row dicts, accumulated across parametrized benches.
 _TABLES: Dict[str, List[dict]] = defaultdict(list)
@@ -109,15 +119,129 @@ def run_engine(
     engine: str,
     policies: Optional[dict] = None,
     until: Optional[float] = None,
+    solver: Optional[str] = None,
     config_overrides: Optional[dict] = None,
 ) -> RunResult:
     """Run one engine over a prepared workload and return the result."""
     topology = getattr(fabric_or_topo, "topology", fabric_or_topo)
-    policies = policies or {
-        "forwarding": {"mode": "shortest-path", "match_on": "ip_dst"}
-    }
+    if policies is None:
+        policies = {"forwarding": {"mode": "shortest-path", "match_on": "ip_dst"}}
     overrides = dict(config_overrides or {})
+    if solver is not None:
+        overrides["solver"] = solver
     config = HorseConfig(engine=engine, **overrides)
     horse = Horse(topology, policies=policies, config=config)
     horse.submit_flows(flows)
     return horse.run(until=until)
+
+
+# ----------------------------------------------------------------------
+# Pod workload: the incremental solver's target regime
+# ----------------------------------------------------------------------
+
+def pod_workload(
+    pods: int = 40,
+    hosts_per_pod: int = 8,
+    flows_per_pod: int = 250,
+    spread_s: float = 1.0,
+    demand_bps: float = 40e6,
+    capacity_bps: float = 1e9,
+    seed: int = 7,
+) -> Tuple[Topology, List[Flow]]:
+    """Disjoint star pods carrying continuous flows.
+
+    Traffic never crosses pods, so the network decomposes into many
+    small link-sharing components — the regime where component-scoped
+    re-solving pays off (each event re-solves one pod, a full solve
+    re-solves them all).  With default parameters this yields
+    ``pods * flows_per_pod`` (10k) concurrent flows once arrivals (spread
+    over ``spread_s``) finish.  Rules are installed directly on the
+    pipelines, so run with ``policies={}``.
+    """
+    rng = random.Random(seed)
+    topo = Topology(name=f"pods-{pods}x{hosts_per_pod}")
+    groups = []
+    for p in range(pods):
+        switch = topo.add_switch(f"p{p}s")
+        attach_pipeline(switch)
+        hosts = []
+        for h in range(hosts_per_pod):
+            host = topo.add_host(f"p{p}h{h}")
+            topo.add_link(host, switch, capacity_bps=capacity_bps)
+            hosts.append(host)
+        for host in hosts:
+            port = topo.egress_port(switch.name, host.name)
+            switch.pipeline.install(
+                Match(ip_dst=host.ip),
+                (ApplyActions((Output(port.number),)),),
+                priority=10,
+            )
+        groups.append(hosts)
+    flows = []
+    for p, hosts in enumerate(groups):
+        for i in range(flows_per_pod):
+            src, dst = rng.sample(hosts, 2)
+            flows.append(
+                Flow(
+                    headers=tcp_flow(src.ip, dst.ip, 1024 + i, 80),
+                    src=src.name,
+                    dst=dst.name,
+                    demand_bps=demand_bps,
+                    start_time=round(rng.random() * spread_s, 6),
+                )
+            )
+    return topo, flows
+
+
+def timed_solver_run(
+    topo: Topology, flows: List[Flow], solver: str, until: float
+) -> Tuple[float, List[float]]:
+    """Run the flow engine over a prepared (rules-installed) workload
+    and return (wall seconds, final per-flow rate vector in flow order)."""
+    ordered = sorted(flows, key=lambda f: f.flow_id)
+    start = time.perf_counter()
+    run_engine(topo, flows, engine="flow", policies={}, until=until,
+               solver=solver)
+    wall = time.perf_counter() - start
+    return wall, [f.rate_bps for f in ordered]
+
+
+# ----------------------------------------------------------------------
+# Benchmark baselines (BENCH_e2.json)
+# ----------------------------------------------------------------------
+
+def calibration_score(loops: int = 2_000_000) -> float:
+    """A seconds-per-unit score of this machine's Python speed.
+
+    Baselines divide wall times by this score, so the committed numbers
+    transfer across machines: a 2x slower host scores 2x higher and its
+    normalized times land near the baseline.
+    """
+    start = time.perf_counter()
+    total = 0
+    for i in range(loops):
+        total += i & 7
+    elapsed = time.perf_counter() - start
+    assert total >= 0
+    return elapsed / 0.1  # ~0.1 s on the reference machine
+
+
+def load_baseline() -> Optional[dict]:
+    if not os.path.exists(BASELINE_PATH):
+        return None
+    with open(BASELINE_PATH) as handle:
+        return json.load(handle)
+
+
+def update_baseline(entries: Dict[str, dict], score: float) -> dict:
+    """Merge normalized benchmark entries into BENCH_e2.json."""
+    doc = load_baseline() or {"description": (
+        "Calibration-normalized benchmark baselines; refresh with "
+        "`python -m benchmarks.smoke --update` (see docs/testing.md)."
+    ), "entries": {}}
+    doc["calibration_score"] = round(score, 4)
+    doc["entries"].update(entries)
+    with open(BASELINE_PATH, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return doc

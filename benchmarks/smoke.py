@@ -1,0 +1,124 @@
+"""Benchmark smoke: a downsized E2 run gated against BENCH_e2.json.
+
+Runs in about a minute, so CI can afford it on every push.  Two cases:
+
+- ``smoke_ixp_flow``: IXP-8 replay through the flow engine (the bread
+  and butter E2 workload, downsized);
+- ``smoke_hotpath_incremental``: the pod hot-path workload (downsized to
+  8 pods x 60 flows) under the default incremental solver.
+
+Each case runs best-of-3 and is normalized by :func:`calibration_score`
+so the committed baseline transfers across machines.  A case fails when
+its normalized time exceeds the committed baseline by more than the
+regression threshold (20%).
+
+Usage::
+
+    python -m benchmarks.smoke            # compare against the baseline
+    python -m benchmarks.smoke --update   # refresh the committed baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .harness import (
+    calibration_score,
+    ixp_workload,
+    load_baseline,
+    pod_workload,
+    run_engine,
+    timed_solver_run,
+    update_baseline,
+)
+
+#: Fail when a case runs >20% slower (normalized) than the baseline.
+SLOWDOWN_LIMIT = 1.20
+ROUNDS = 3
+
+
+def _smoke_ixp_flow() -> float:
+    fabric, flows = ixp_workload(8, duration_s=1.0, load_fraction=0.5)
+    start = time.perf_counter()
+    result = run_engine(fabric, flows, engine="flow", until=31.0)
+    wall = time.perf_counter() - start
+    assert result.delivered_fraction > 0.99
+    return wall
+
+
+def _smoke_hotpath_incremental() -> float:
+    topo, flows = pod_workload(pods=8, hosts_per_pod=8, flows_per_pod=60)
+    wall, rates = timed_solver_run(topo, flows, "incremental", until=1.5)
+    assert sum(1 for r in rates if r > 0) == len(flows)
+    return wall
+
+
+CASES = {
+    "smoke_ixp_flow": _smoke_ixp_flow,
+    "smoke_hotpath_incremental": _smoke_hotpath_incremental,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.smoke", description=__doc__
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="write measured times into BENCH_e2.json instead of comparing",
+    )
+    args = parser.parse_args(argv)
+
+    score = calibration_score()
+    print(f"calibration score: {score:.3f} (1.0 = reference machine)")
+
+    measured = {}
+    for name, case in CASES.items():
+        walls = [case() for _ in range(ROUNDS)]
+        best = min(walls)
+        measured[name] = {
+            "wall_s": round(best, 3),
+            "normalized": round(best / score, 3),
+        }
+        print(f"{name}: best-of-{ROUNDS} {best:.3f}s "
+              f"(normalized {best / score:.3f})")
+
+    if args.update:
+        update_baseline(measured, score)
+        print("baseline updated")
+        return 0
+
+    baseline = load_baseline()
+    if baseline is None:
+        print("no BENCH_e2.json baseline; run with --update first",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    for name, result in measured.items():
+        entry = baseline.get("entries", {}).get(name)
+        if entry is None:
+            failures.append(f"{name}: no baseline entry (run --update)")
+            continue
+        ratio = result["normalized"] / entry["normalized"]
+        verdict = "ok" if ratio <= SLOWDOWN_LIMIT else "REGRESSION"
+        print(f"{name}: {ratio:.2f}x baseline ({verdict})")
+        if ratio > SLOWDOWN_LIMIT:
+            failures.append(
+                f"{name}: normalized {result['normalized']} vs baseline "
+                f"{entry['normalized']} ({ratio:.2f}x > {SLOWDOWN_LIMIT}x)"
+            )
+    if failures:
+        print("benchmark smoke failed:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("benchmark smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,8 @@ shareable files rather than scripts.  Schema::
 
     {
       "engine": "flow" | "packet",
+      "solver": "incremental" | "full" | "vector",   # flow engine only
+      "route_cache": true,                           # flow engine only
       "seed": 0,
       "until": 60.0,
       "topology": {"kind": "fat-tree", "k": 4}
@@ -119,6 +121,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     topology, fabric = _build_topology(scenario.get("topology", {}))
     config = HorseConfig(
         engine=scenario.get("engine", "flow"),
+        solver=getattr(args, "solver", None) or scenario.get("solver", "incremental"),
+        route_cache=scenario.get("route_cache", True),
         seed=scenario.get("seed", 0),
         link_sample_interval_s=scenario.get("link_sample_interval_s"),
         monitor_interval_s=scenario.get("monitor_interval_s"),
@@ -221,6 +225,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("scenario", help="scenario JSON path")
     run_p.add_argument("--flows-csv", help="write per-flow records here")
     run_p.add_argument("--json", help="write the full run document here")
+    run_p.add_argument(
+        "--solver",
+        choices=["incremental", "full", "vector"],
+        help="flow-engine rate solver (overrides the scenario)",
+    )
     run_p.set_defaults(func=cmd_run)
 
     an_p = sub.add_parser(

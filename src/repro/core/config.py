@@ -27,8 +27,18 @@ class HorseConfig:
     link_sample_interval_s:
         Utilization sampling period for the stats collector; None
         disables sampling.
+    solver:
+        Flow engine only: rate-solver strategy.  ``"incremental"``
+        (default) re-solves only the link-sharing components an event
+        touched; ``"full"`` re-solves everything through the same
+        kernel (reference mode, bitwise-identical rates);  ``"vector"``
+        uses the flat slot-array solve over all active flows.
+    route_cache:
+        Flow engine only: reuse pipeline walks across flows whose
+        headers are equivalent under the installed rules.
     incremental_solver:
-        Flow engine only: use the incremental max-min solver (E6).
+        Deprecated: ``True`` forces ``solver="incremental"`` (kept for
+        the E6 ablation scripts).
     mtu_bytes / queue_capacity_packets:
         Packet engine parameters.
     pipeline_tables:
@@ -45,6 +55,8 @@ class HorseConfig:
     monitor_interval_s: Optional[float] = None
     monitor_threshold: float = 0.9
     link_sample_interval_s: Optional[float] = None
+    solver: str = "incremental"
+    route_cache: bool = True
     incremental_solver: bool = False
     mtu_bytes: int = 1500
     queue_capacity_packets: int = 100
@@ -59,7 +71,18 @@ class HorseConfig:
             raise ExperimentError(
                 f"engine must be 'flow' or 'packet', got {self.engine!r}"
             )
+        if self.solver not in ("incremental", "full", "vector"):
+            raise ExperimentError(
+                "solver must be 'incremental', 'full', or 'vector', "
+                f"got {self.solver!r}"
+            )
         if self.control_latency_s < 0:
             raise ExperimentError("control latency must be >= 0")
         if self.pipeline_tables < 1:
             raise ExperimentError("need >= 1 pipeline table")
+
+    def resolved_solver(self) -> str:
+        """The effective solver, honouring the deprecated boolean."""
+        if self.incremental_solver:
+            return "incremental"
+        return self.solver

@@ -103,7 +103,8 @@ class Horse:
                 self.sim,
                 topology,
                 control=self.channel,
-                incremental=self.config.incremental_solver,
+                solver=self.config.resolved_solver(),
+                route_cache=self.config.route_cache,
                 mean_packet_bytes=self.config.mean_packet_bytes,
                 max_hops=self.config.max_hops,
             )

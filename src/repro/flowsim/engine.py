@@ -20,10 +20,28 @@ Routing walks the real switch pipelines (tables, groups, meters), so
 controller-installed rules — not simulator shortcuts — decide paths;
 ``ToController`` punts raise packet-ins on the attached control plane,
 closing the control loop the poster's architecture shows.
+
+Two hot-path accelerators keep per-event cost proportional to what the
+event touched rather than to the whole network:
+
+* **Incremental re-solving** (default).  The engine feeds flow/link
+  updates into a persistent :class:`~repro.flowsim.fairshare
+  .IncrementalSolver`, which maintains the link-sharing component index
+  and re-runs the max-min kernel only on components an event touched.
+  ``solver="full"`` re-solves everything through the *same* kernel, so
+  both modes produce bitwise-identical rate vectors (asserted by
+  ``tests/diff``); ``solver="vector"`` keeps the flat slot-array solve
+  as a reference implementation.
+* **Route caching.**  Flows whose headers are equivalent under the
+  installed rules (same projection onto every matched field) reuse a
+  cached pipeline walk.  Cache entries record the version of every
+  pipeline they consulted plus a link epoch, so a flow-mod/group-mod/
+  port-status invalidates exactly the affected header classes.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import logging
 from collections import deque
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
@@ -73,6 +91,17 @@ _VECTOR_THRESHOLD = 48
 #: Rate changes smaller than this (bps) don't trigger re-accrual.
 _RATE_EPS = 1e-6
 
+#: Valid values for the ``solver`` engine parameter.
+SOLVER_MODES = ("incremental", "full", "vector")
+
+#: Header fields a route-cache key may project onto.
+_HEADER_FIELD_NAMES = tuple(
+    f.name for f in dataclasses.fields(HeaderFields)
+)
+
+#: Route-cache entries are dropped wholesale beyond this many classes.
+_ROUTE_CACHE_MAX = 4096
+
 
 class FlowLevelEngine:
     """Drives flows through OpenFlow pipelines on a shared kernel.
@@ -92,9 +121,20 @@ class FlowLevelEngine:
     max_hops:
         Per-branch hop guard against forwarding loops.
     incremental:
-        Use the incremental max-min solver (ablation E6).
+        Deprecated alias: ``True`` forces ``solver="incremental"``,
+        ``False`` forces ``solver="full"``.  Prefer ``solver``.
     mean_packet_bytes:
         Fluid-to-packet conversion factor for packet counters.
+    solver:
+        Rate-solver strategy.  ``"incremental"`` (default) re-solves
+        only the link-sharing components an event touched;  ``"full"``
+        re-solves every component through the same kernel (reference
+        mode — bitwise-identical rates, no reuse);  ``"vector"`` keeps
+        the flat slot-array solve over all active flows.
+    route_cache:
+        Reuse pipeline walks across flows whose headers are equivalent
+        under the installed rules (invalidated by table versions and
+        link state changes).
     """
 
     def __init__(
@@ -103,18 +143,46 @@ class FlowLevelEngine:
         topology: Topology,
         control: Optional[object] = None,
         max_hops: int = 64,
-        incremental: bool = False,
+        incremental: Optional[bool] = None,
         mean_packet_bytes: int = 1000,
+        solver: Optional[str] = None,
+        route_cache: bool = True,
     ) -> None:
         self.sim = sim
         self.topology = topology
         self.control = control
         self.max_hops = max_hops
         self.mean_packet_bytes = mean_packet_bytes
+        if solver is None:
+            if incremental is None:
+                solver = "incremental"
+            else:
+                solver = "incremental" if incremental else "full"
+        if solver not in SOLVER_MODES:
+            raise SimulationError(
+                f"solver must be one of {SOLVER_MODES}, got {solver!r}"
+            )
+        self.solver_mode = solver
         self.flows: Dict[int, Flow] = {}
         self.active: Dict[int, Flow] = {}
         self._completions: Dict[int, FlowCompletion] = {}
-        self._incremental = IncrementalSolver() if incremental else None
+        self._solver = IncrementalSolver() if solver != "vector" else None
+        #: Back-compat alias (ablation E6 reads ``last_scope`` here).
+        self._incremental = self._solver
+        # Routing cache: header-class key -> (route, pipeline version
+        # deps, link epoch).  None when disabled.
+        self._route_cache: Optional[Dict[Tuple, Tuple[FlowRoute, Tuple, int]]] = (
+            {} if route_cache else None
+        )
+        self._link_epoch = 0
+        # Cache-key projection: which header fields the installed rules
+        # reference, memoised on the global pipeline version sum.
+        self._key_fields: Optional[Tuple[str, ...]] = None
+        self._key_fields_version = -1
+        # Pipelines consulted by the walk in progress: dpid -> version
+        # at first lookup (used to build cache deps and to refuse
+        # caching walks that raced a rule change).
+        self._walk_dpids: Dict[int, int] = {}
         self._dirty_dpids: Set[int] = set()
         self._reroute_pending = False
         self._in_walk = False
@@ -161,6 +229,8 @@ class FlowLevelEngine:
             "reroutes": 0,
             "packet_ins": 0,
             "rate_solves": 0,
+            "route_cache_hits": 0,
+            "route_cache_misses": 0,
         }
 
     # ------------------------------------------------------------------
@@ -341,6 +411,8 @@ class FlowLevelEngine:
         self._accrued.pop(flow.flow_id, None)
         self._flow_links.pop(flow.flow_id, None)
         self._flow_eff_demand.pop(flow.flow_id, None)
+        if self._solver is not None:
+            self._solver.remove(flow.flow_id)
         slot = self._slot_of.pop(flow.flow_id, None)
         if slot is not None:
             self._kill_segment(flow.flow_id)
@@ -355,6 +427,16 @@ class FlowLevelEngine:
             link = self.topology.restore_link(a, b)
         else:
             link = self.topology.fail_link(a, b)
+        # Any cached route may cross the flipped link (coarse but safe).
+        self._link_epoch += 1
+        # Registered capacities can drift (e.g. a degraded link model);
+        # refresh them and mark changed links dirty for the solver.
+        for index, direction in enumerate(self._dir_list):
+            capacity = direction.capacity_bps
+            if self._dir_caps[index] != capacity:
+                self._dir_caps[index] = capacity
+                if self._solver is not None:
+                    self._solver.touch_link(index)
         # Tell the controller about both switch endpoints.
         for port in (link.port_a, link.port_b):
             node = port.node
@@ -424,7 +506,16 @@ class FlowLevelEngine:
         """(Re)walk a flow through the data plane and update its state."""
         # Charge traffic at the old rate/route before it changes.
         self._accrue_flow(flow, self.sim.now)
-        route = self._walk(flow)
+        route: Optional[FlowRoute] = None
+        cache_key: Optional[Tuple] = None
+        if self._route_cache is not None and not self._flow_hinted(flow):
+            cache_key = self._route_cache_key(flow)
+            route = self._route_cache_lookup(cache_key)
+        if route is None:
+            packet_ins_before = self.stats["packet_ins"]
+            route = self._walk(flow)
+            if cache_key is not None:
+                self._route_cache_store(cache_key, route, packet_ins_before)
         flow.route = route
         self._cache_solver_inputs(flow)
         previously_counted = flow.state in (FlowState.ACTIVE, FlowState.BLOCKED)
@@ -444,6 +535,133 @@ class FlowLevelEngine:
                 self.stats["undelivered"] += 1
             self._notify("undelivered", flow)
         self.active[flow.flow_id] = flow
+        self._sync_solver(flow)
+
+    def _sync_solver(self, flow: Flow) -> None:
+        """Push a flow's (possibly changed) solver inputs into the
+        persistent incremental index.  Blocked flows carry no traffic
+        and leave the solver entirely."""
+        if self._solver is None:
+            return
+        if flow.state is FlowState.BLOCKED:
+            self._solver.remove(flow.flow_id)
+            self._set_rate(flow, 0.0)
+            return
+        self._solver.upsert(
+            FlowDemand(
+                flow.flow_id,
+                self._flow_eff_demand[flow.flow_id],
+                self._flow_links[flow.flow_id],
+                weight=flow.weight,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Route cache: header-equivalence-class keyed pipeline walks
+    # ------------------------------------------------------------------
+    def _flow_hinted(self, flow: Flow) -> bool:
+        """True when a pending packet-out hint targets this flow (the
+        walk must run to consume the buffered packet)."""
+        if not self._packet_out_hints:
+            return False
+        return any(key[0] == flow.flow_id for key in self._packet_out_hints)
+
+    def _route_cache_key(self, flow: Flow) -> Tuple:
+        """(src, dst, header projection) identifying flows the installed
+        rules cannot distinguish.  Projects the headers onto the fields
+        any installed match references; falls back to the full header
+        tuple while SELECT/ALL groups exist (their bucket choice hashes
+        every field)."""
+        fields = self._match_referenced_fields()
+        headers = flow.headers
+        if fields is not None:
+            headers = HeaderFields(
+                **{name: getattr(headers, name) for name in fields}
+            )
+        return (flow.src, flow.dst, headers)
+
+    def _match_referenced_fields(self) -> Optional[Tuple[str, ...]]:
+        """Header fields referenced by any installed match, memoised on
+        the global pipeline version sum; None means "use full headers"
+        (a group's hash may consult any field)."""
+        total = 0
+        pipelines = []
+        for switch in self.topology.switches:
+            pipeline = switch.pipeline
+            if pipeline is not None:
+                pipelines.append(pipeline)
+                total += pipeline.version
+        if total == self._key_fields_version:
+            return self._key_fields
+        referenced: Set[str] = set()
+        full_headers = False
+        for pipeline in pipelines:
+            if len(pipeline.groups):
+                full_headers = True
+                break
+            for table in pipeline.tables:
+                for entry in table:
+                    match = entry.match
+                    for name in _HEADER_FIELD_NAMES:
+                        if getattr(match, name) is not None:
+                            referenced.add(name)
+        self._key_fields_version = total
+        self._key_fields = None if full_headers else tuple(sorted(referenced))
+        return self._key_fields
+
+    def _route_cache_lookup(self, key: Tuple) -> Optional[FlowRoute]:
+        cache = self._route_cache
+        assert cache is not None
+        entry = cache.get(key)
+        if entry is not None:
+            route, deps, epoch = entry
+            if epoch == self._link_epoch and all(
+                (pipeline := self._pipeline_by_dpid(dpid)) is not None
+                and pipeline.version == version
+                for dpid, version in deps
+            ):
+                self.stats["route_cache_hits"] += 1
+                return self._clone_route(route)
+            del cache[key]
+        self.stats["route_cache_misses"] += 1
+        return None
+
+    def _route_cache_store(
+        self, key: Tuple, route: FlowRoute, packet_ins_before: int
+    ) -> None:
+        """Cache a completed walk unless it depended on transient state:
+        a punt awaiting the controller, a packet-in raised mid-walk, or
+        a rule set that changed underneath the walk."""
+        if route.punted or self.stats["packet_ins"] != packet_ins_before:
+            return
+        for dpid, version in self._walk_dpids.items():
+            pipeline = self._pipeline_by_dpid(dpid)
+            if pipeline is None or pipeline.version != version:
+                return
+        cache = self._route_cache
+        assert cache is not None
+        if len(cache) >= _ROUTE_CACHE_MAX:
+            cache.clear()
+        cache[key] = (
+            self._clone_route(route),
+            tuple(self._walk_dpids.items()),
+            self._link_epoch,
+        )
+
+    @staticmethod
+    def _clone_route(route: FlowRoute) -> FlowRoute:
+        """Copy a route's list containers; the FlowEntry/LinkDirection/
+        Group objects stay shared so accounting lands on the real
+        counters, exactly as a fresh walk matching the same rules."""
+        return FlowRoute(
+            directions=list(route.directions),
+            switch_hops=list(route.switch_hops),
+            terminal=route.terminal,
+            meter_ids=list(route.meter_ids),
+            punted=route.punted,
+            entries=list(route.entries),
+            group_hits=list(route.group_hits),
+        )
 
     def _cache_solver_inputs(self, flow: Flow) -> None:
         """Rebuild the flow's link-index list, effective demand, and its
@@ -452,7 +670,8 @@ class FlowLevelEngine:
         if route is None:
             self._flow_links[flow.flow_id] = []
             self._flow_eff_demand[flow.flow_id] = 0.0
-            self._write_slot(flow, 0.0, [])
+            if self._solver is None:
+                self._write_slot(flow, 0.0, [])
             return
         indices: List[int] = []
         for direction in route.directions:
@@ -472,7 +691,8 @@ class FlowLevelEngine:
         self._flow_links[flow.flow_id] = indices
         demand = self._effective_demand(flow)
         self._flow_eff_demand[flow.flow_id] = demand
-        self._write_slot(flow, demand, indices)
+        if self._solver is None:
+            self._write_slot(flow, demand, indices)
 
     # ------------------------------------------------------------------
     # Slot array maintenance
@@ -578,6 +798,7 @@ class FlowLevelEngine:
     def _walk(self, flow: Flow) -> FlowRoute:
         """Push the flow's headers through pipelines from its source."""
         self._in_walk = True
+        self._walk_dpids = {}
         try:
             return self._walk_inner(flow)
         finally:
@@ -622,6 +843,7 @@ class FlowLevelEngine:
                 consider(Terminal.LOOPED)
                 continue
             visited.add(state_key)
+            self._walk_dpids.setdefault(node.dpid, node.pipeline.version)
             result = node.pipeline.process(headers, in_port)
             route.entries.extend(result.matched_entries)
             route.group_hits.extend(result.group_hits)
@@ -772,6 +994,9 @@ class FlowLevelEngine:
         """Re-solve max-min rates and reproject completions."""
         self.stats["rate_solves"] += 1
         now = self.sim.now
+        if self._solver is not None:
+            self._recompute_indexed(now)
+            return
         solvable: List[Flow] = []
         for flow in self.active.values():
             if flow.route is None or flow.state is FlowState.BLOCKED:
@@ -783,10 +1008,38 @@ class FlowLevelEngine:
                     self._arr_demand[slot] = 0.0
             else:
                 solvable.append(flow)
-        if self._incremental is not None or len(solvable) < _VECTOR_THRESHOLD:
-            self._recompute_scalar(solvable, changed, now)
+        if len(solvable) < _VECTOR_THRESHOLD:
+            self._recompute_scalar(solvable, now)
         else:
             self._recompute_vector(now)
+
+    def _recompute_indexed(self, now: float) -> None:
+        """Re-solve through the persistent component index.
+
+        ``solver="incremental"`` re-runs the kernel only on components
+        an event touched; ``solver="full"`` re-runs it on every
+        component.  Either way the kernel sees each component's flows in
+        the same (insertion) order, so the rate vectors are bitwise
+        identical — incremental mode just skips the redundant work.
+        """
+        solver = self._solver
+        assert solver is not None
+        updates = solver.resolve(
+            self._dir_caps, full=self.solver_mode == "full"
+        )
+        dir_list = self._dir_list
+        # Per-direction totals: only links in re-solved components can
+        # have moved; zero them and re-add the fresh contributions.
+        for index in solver.last_touched_links:
+            dir_list[index].allocated_bps = 0.0
+        flow_links = self._flow_links
+        for flow_id, rate in updates.items():
+            flow = self.active.get(flow_id)
+            if flow is None:  # pragma: no cover - defensive
+                continue
+            self._apply_rate(flow, rate, now)
+            for index in flow_links.get(flow_id, ()):
+                dir_list[index].allocated_bps += rate
 
     def _set_rate(self, flow: Flow, rate: float) -> None:
         flow.rate_bps = rate
@@ -803,9 +1056,7 @@ class FlowLevelEngine:
         elif flow.flow_id not in self._completions:
             self._schedule_completion(flow)
 
-    def _recompute_scalar(
-        self, flows: List[Flow], changed: Set[int], now: float
-    ) -> None:
+    def _recompute_scalar(self, flows: List[Flow], now: float) -> None:
         demands: List[FlowDemand] = []
         capacities: Dict[int, float] = {}
         for flow in flows:
@@ -820,10 +1071,7 @@ class FlowLevelEngine:
                     weight=flow.weight,
                 )
             )
-        if self._incremental is not None:
-            alloc = self._incremental.update(demands, capacities, changed)
-        else:
-            alloc = solve(demands, capacities)
+        alloc = solve(demands, capacities)
         for direction in self._dir_list:
             direction.allocated_bps = 0.0
         for flow in flows:

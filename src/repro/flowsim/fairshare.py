@@ -6,13 +6,24 @@ together until a link saturates or a flow hits its demand; saturated
 flows freeze; repeat.  This is the fluid model that lets Horse advance
 in flow events instead of packet events.
 
-Two solvers are provided:
+The module is organized around one *canonical component kernel*:
 
-* :func:`solve` — full re-solve over all flows (the default).
-* :class:`IncrementalSolver` — re-solves only the connected component of
-  flows sharing links with a changed flow (ablation E6).  Because
-  max-min allocations of disjoint components are independent, the result
-  is identical to the full solve.
+* :func:`solve_component` — solve one link-sharing connected component
+  (scalar progressive filling for small components, the vectorized
+  kernel for large ones; the choice depends only on component size, so
+  it is deterministic).
+* :func:`solve` — full solve: partition the flows into link-sharing
+  components and run the kernel on each.  Components are independent
+  under max-min fairness, so this is exact.
+* :class:`IncrementalSolver` — stateful solver that maintains the
+  component partition across flow arrivals/departures/re-routes and
+  re-runs the kernel only on *dirty* components, reusing cached rates
+  for untouched ones.
+
+Because full and incremental solves run the **same kernel on the same
+per-component inputs in the same order**, their results are bitwise
+identical — the property the differential suite (``tests/diff``)
+asserts.  :func:`solve_arrays` exposes the raw vectorized kernel.
 """
 
 from __future__ import annotations
@@ -24,6 +35,25 @@ import numpy as np
 
 #: Rates below this (bps) are treated as zero when testing saturation.
 EPSILON_BPS = 1e-6
+
+#: Relative slack for saturation/demand tests.  Absolute 1e-6 bps alone
+#: misbehaves at 100G-scale capacities, where float64 rounding after a
+#: few subtractions already exceeds it; tolerances therefore scale with
+#: the quantity compared: ``max(EPSILON_BPS, RELATIVE_EPSILON * x)``.
+RELATIVE_EPSILON = 1e-9
+
+#: Components at or above this many flows use the vectorized kernel.
+VECTOR_COMPONENT_THRESHOLD = 48
+
+
+def saturation_eps(capacity: float) -> float:
+    """Slack below which a link budget counts as exhausted."""
+    return max(EPSILON_BPS, RELATIVE_EPSILON * capacity)
+
+
+def demand_eps(demand: float) -> float:
+    """Slack within which an allocation counts as demand-satisfied."""
+    return max(EPSILON_BPS, RELATIVE_EPSILON * demand)
 
 
 class FlowDemand:
@@ -62,6 +92,19 @@ class FlowDemand:
                 unique.append(link)
         self.links = tuple(unique)
 
+    def is_free(self) -> bool:
+        """True when the flow is granted its demand outright (no links
+        that could congest, or effectively zero demand)."""
+        return not self.links or self.demand_bps <= EPSILON_BPS
+
+    def same_inputs(self, other: "FlowDemand") -> bool:
+        """True when the solver inputs are identical (rates can't move)."""
+        return (
+            self.demand_bps == other.demand_bps
+            and self.weight == other.weight
+            and self.links == other.links
+        )
+
     def __repr__(self) -> str:
         return (
             f"<FlowDemand {self.flow_id} demand={self.demand_bps:.3g} "
@@ -69,10 +112,193 @@ class FlowDemand:
         )
 
 
+def _partition(flows: Sequence[FlowDemand]) -> List[List[FlowDemand]]:
+    """Split constrained flows into link-sharing connected components.
+
+    Flow order is preserved within each component and components are
+    ordered by their first flow, so the result is a pure function of the
+    input sequence.
+    """
+    parent: Dict[Hashable, Hashable] = {}
+
+    def find(link: Hashable) -> Hashable:
+        root = link
+        while parent[root] != root:
+            root = parent[root]
+        while parent[link] != root:  # path compression
+            parent[link], link = root, parent[link]
+        return root
+
+    for flow in flows:
+        for link in flow.links:
+            parent.setdefault(link, link)
+        first = find(flow.links[0])
+        for link in flow.links[1:]:
+            parent[find(link)] = first
+    groups: Dict[Hashable, List[FlowDemand]] = {}
+    order: List[Hashable] = []
+    for flow in flows:
+        root = find(flow.links[0])
+        bucket = groups.get(root)
+        if bucket is None:
+            bucket = groups[root] = []
+            order.append(root)
+        bucket.append(flow)
+    return [groups[root] for root in order]
+
+
+def _solve_component_scalar(
+    flows: Sequence[FlowDemand], capacities: Mapping[Hashable, float]
+) -> Dict[Hashable, float]:
+    """Weighted progressive filling over one component (scalar kernel).
+
+    Deterministic: all floating-point accumulation orders follow the
+    input flow order, so identical inputs give identical bits.
+    """
+    alloc: Dict[Hashable, float] = {}
+    active: List[FlowDemand] = []
+    for flow in flows:
+        if flow.is_free():
+            alloc[flow.flow_id] = flow.demand_bps
+        else:
+            alloc[flow.flow_id] = 0.0
+            active.append(flow)
+    if not active:
+        return alloc
+
+    available: Dict[Hashable, float] = {}
+    sat_slack: Dict[Hashable, float] = {}
+    members: Dict[Hashable, List[int]] = {}
+    for index, flow in enumerate(active):
+        for link in flow.links:
+            if link not in available:
+                try:
+                    available[link] = float(capacities[link])
+                except (KeyError, IndexError):
+                    raise KeyError(f"no capacity given for link {link!r}") from None
+                sat_slack[link] = saturation_eps(available[link])
+                members[link] = []
+            members[link].append(index)
+
+    frozen = [False] * len(active)
+    remaining = len(active)
+    # Weighted progressive filling: the "water level" rises per unit
+    # weight; each iteration freezes at least one flow, so the loop runs
+    # at most len(active) times.
+    while remaining:
+        # Largest per-unit-weight level rise that saturates a link or a
+        # demand.  Member weights are summed in ascending flow order.
+        level = float("inf")
+        link_weight: Dict[Hashable, float] = {}
+        for link, indices in members.items():
+            weight_sum = 0.0
+            for index in indices:
+                if not frozen[index]:
+                    weight_sum += active[index].weight
+            if weight_sum > 0.0:
+                link_weight[link] = weight_sum
+                level = min(level, available[link] / weight_sum)
+        for index, flow in enumerate(active):
+            if not frozen[index]:
+                level = min(
+                    level,
+                    (flow.demand_bps - alloc[flow.flow_id]) / flow.weight,
+                )
+        if level == float("inf"):  # pragma: no cover - defensive
+            break
+        level = max(level, 0.0)
+        # Raise all unfrozen flows by weight x level; draw down budgets.
+        if level > 0:
+            for link, weight_sum in link_weight.items():
+                available[link] -= level * weight_sum
+            for index, flow in enumerate(active):
+                if not frozen[index]:
+                    alloc[flow.flow_id] += level * flow.weight
+        # Freeze demand-satisfied flows and flows on saturated links.
+        newly_frozen: List[int] = []
+        for index, flow in enumerate(active):
+            if frozen[index]:
+                continue
+            if alloc[flow.flow_id] >= flow.demand_bps - demand_eps(flow.demand_bps):
+                newly_frozen.append(index)
+                continue
+            if any(available[link] <= sat_slack[link] for link in flow.links):
+                newly_frozen.append(index)
+        if not newly_frozen:  # pragma: no cover - numeric safety valve
+            break
+        for index in newly_frozen:
+            frozen[index] = True
+            remaining -= 1
+    return alloc
+
+
+def _solve_component_arrays(
+    flows: Sequence[FlowDemand], capacities: Mapping[Hashable, float]
+) -> Dict[Hashable, float]:
+    """Run the vectorized kernel on one component.
+
+    Array layout (flow order, link first-appearance order) is a pure
+    function of the input sequence, keeping results deterministic.
+    """
+    link_index: Dict[Hashable, int] = {}
+    link_list: List[Hashable] = []
+    flow_of: List[int] = []
+    link_of: List[int] = []
+    demand = np.empty(len(flows))
+    weight = np.empty(len(flows))
+    for i, flow in enumerate(flows):
+        demand[i] = flow.demand_bps
+        weight[i] = flow.weight
+        for link in flow.links:
+            j = link_index.get(link)
+            if j is None:
+                j = len(link_list)
+                link_index[link] = j
+                link_list.append(link)
+            flow_of.append(i)
+            link_of.append(j)
+    try:
+        caps = np.array([float(capacities[link]) for link in link_list])
+    except (KeyError, IndexError):
+        missing = [link for link in link_list if not _has_capacity(capacities, link)]
+        raise KeyError(f"no capacity given for link {missing[0]!r}") from None
+    alloc = solve_arrays(
+        demand,
+        caps,
+        np.asarray(flow_of, dtype=np.intp),
+        np.asarray(link_of, dtype=np.intp),
+        weight=weight,
+    )
+    return {flow.flow_id: float(alloc[i]) for i, flow in enumerate(flows)}
+
+
+def _has_capacity(capacities: Mapping[Hashable, float], link: Hashable) -> bool:
+    try:
+        capacities[link]
+        return True
+    except (KeyError, IndexError):
+        return False
+
+
+def solve_component(
+    flows: Sequence[FlowDemand], capacities: Mapping[Hashable, float]
+) -> Dict[Hashable, float]:
+    """Canonical kernel for one link-sharing component.
+
+    Small components use the scalar filling loop (lower constant cost);
+    large ones the vectorized kernel.  The switch depends only on
+    ``len(flows)``, so full and incremental solves of the same component
+    take the same path and return bitwise-identical rates.
+    """
+    if len(flows) >= VECTOR_COMPONENT_THRESHOLD:
+        return _solve_component_arrays(flows, capacities)
+    return _solve_component_scalar(flows, capacities)
+
+
 def solve(
     flows: Iterable[FlowDemand], capacities: Mapping[Hashable, float]
 ) -> Dict[Hashable, float]:
-    """Compute max-min fair rates.
+    """Compute max-min fair rates (full solve).
 
     Parameters
     ----------
@@ -94,75 +320,15 @@ def solve(
     >>> solve([a, b], {"l": 10.0})
     {'a': 5.0, 'b': 5.0}
     """
-    flow_list = list(flows)
     alloc: Dict[Hashable, float] = {}
-    active: List[FlowDemand] = []
-    for flow in flow_list:
-        if not flow.links or flow.demand_bps <= EPSILON_BPS:
+    constrained: List[FlowDemand] = []
+    for flow in flows:
+        if flow.is_free():
             alloc[flow.flow_id] = flow.demand_bps
         else:
-            alloc[flow.flow_id] = 0.0
-            active.append(flow)
-    if not active:
-        return alloc
-
-    available: Dict[Hashable, float] = {}
-    flows_on_link: Dict[Hashable, Set[int]] = defaultdict(set)
-    for index, flow in enumerate(active):
-        for link in flow.links:
-            if link not in available:
-                try:
-                    available[link] = float(capacities[link])
-                except KeyError:
-                    raise KeyError(f"no capacity given for link {link!r}") from None
-            flows_on_link[link].add(index)
-
-    frozen = [False] * len(active)
-    remaining = len(active)
-    # Weighted progressive filling: the "water level" rises per unit
-    # weight; each iteration freezes at least one flow, so the loop runs
-    # at most len(active) times.
-    while remaining:
-        # Largest per-unit-weight level rise that saturates a link or a
-        # demand.
-        level = float("inf")
-        for link, members in flows_on_link.items():
-            weight_sum = sum(active[i].weight for i in members)
-            if weight_sum > 0:
-                level = min(level, available[link] / weight_sum)
-        for index, flow in enumerate(active):
-            if not frozen[index]:
-                level = min(
-                    level,
-                    (flow.demand_bps - alloc[flow.flow_id]) / flow.weight,
-                )
-        if level == float("inf"):  # pragma: no cover - defensive
-            break
-        level = max(level, 0.0)
-        # Raise all unfrozen flows by weight x level; draw down budgets.
-        if level > 0:
-            for link, members in flows_on_link.items():
-                available[link] -= level * sum(active[i].weight for i in members)
-            for index, flow in enumerate(active):
-                if not frozen[index]:
-                    alloc[flow.flow_id] += level * flow.weight
-        # Freeze demand-satisfied flows and flows on saturated links.
-        newly_frozen: List[int] = []
-        for index, flow in enumerate(active):
-            if frozen[index]:
-                continue
-            if alloc[flow.flow_id] >= flow.demand_bps - EPSILON_BPS:
-                newly_frozen.append(index)
-                continue
-            if any(available[link] <= EPSILON_BPS for link in flow.links):
-                newly_frozen.append(index)
-        if not newly_frozen:  # pragma: no cover - numeric safety valve
-            break
-        for index in newly_frozen:
-            frozen[index] = True
-            remaining -= 1
-            for link in active[index].links:
-                flows_on_link[link].discard(index)
+            constrained.append(flow)
+    for component in _partition(constrained):
+        alloc.update(solve_component(component, capacities))
     return alloc
 
 
@@ -203,9 +369,10 @@ def solve_arrays(
     frozen = np.zeros(num_flows, dtype=bool)
     capacity = link_capacity.astype(float)
     avail = capacity.copy()
-    # Saturation threshold: relative to capacity so float64 rounding on
-    # multi-gigabit links still registers as "full".
-    sat_eps = np.maximum(EPSILON_BPS, 1e-9 * capacity)
+    # Saturation/demand thresholds: relative to the magnitudes compared,
+    # so float64 rounding on multi-gigabit links still registers.
+    sat_eps = np.maximum(EPSILON_BPS, RELATIVE_EPSILON * capacity)
+    dem_eps = np.maximum(EPSILON_BPS, RELATIVE_EPSILON * demand)
     has_link = np.zeros(num_flows, dtype=bool)
     if flow_of.size:
         has_link[flow_of] = True
@@ -251,7 +418,7 @@ def solve_arrays(
         hit_pairs = active_pairs & saturated[link_of]
         if hit_pairs.any():
             flow_hit[flow_of[hit_pairs]] = True
-        demand_done = ~frozen & (alloc >= demand - EPSILON_BPS)
+        demand_done = ~frozen & (alloc >= demand - dem_eps)
         newly = (flow_hit & ~frozen) | demand_done
         if not newly.any():
             if level <= EPSILON_BPS:  # pragma: no cover - safety valve
@@ -290,20 +457,231 @@ def affected_component(
 
 
 class IncrementalSolver:
-    """Stateful solver that re-solves only the affected component.
+    """Stateful solver re-running the kernel only on dirty components.
 
-    Keeps the last allocation; :meth:`update` takes the full current flow
-    set plus the ids that changed (arrived, departed, or re-routed) and
-    returns the new full allocation.  Results match :func:`solve` exactly
-    (asserted property-tested), but touch fewer flows when traffic is
-    spatially clustered — the trade quantified by ablation E6.
+    The solver owns a persistent index: a union-find over link keys plus
+    a member set per component root, maintained by :meth:`upsert` /
+    :meth:`remove` in O(links) per call.  :meth:`resolve` gathers the
+    components touched since the last resolve, runs
+    :func:`solve_component` on each (member flows ordered by insertion
+    sequence), and returns the re-solved rates; untouched components
+    keep their cached — and still bitwise-exact — rates.
+
+    Departures never split components eagerly (exact dynamic
+    connectivity is costlier than it is worth); stale over-merges are
+    *conservative* — they only enlarge the re-solve scope, never change
+    the result — and a periodic rebuild re-tightens the partition.
     """
 
+    #: Rebuild the partition after this many removals (at least).
+    _REBUILD_MIN = 64
+
     def __init__(self) -> None:
+        self._flows: Dict[Hashable, FlowDemand] = {}
+        self._seq: Dict[Hashable, int] = {}
+        self._next_seq = 0
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+        #: component root link -> ids of member flows.
+        self._members: Dict[Hashable, Set[Hashable]] = {}
+        self._free: Set[Hashable] = set()
         self._alloc: Dict[Hashable, float] = {}
-        self._last_links: Dict[Hashable, Tuple[Hashable, ...]] = {}
-        #: Number of flows actually re-solved by the last update.
+        self._dirty_flows: Set[Hashable] = set()
+        self._dirty_links: Set[Hashable] = set()
+        self._removals = 0
+        #: Number of flows actually re-solved by the last resolve.
         self.last_scope = 0
+        #: Links whose total allocation may have changed in the last
+        #: resolve (callers maintaining per-link totals reset these).
+        self.last_touched_links: Set[Hashable] = set()
+        self.stats = {
+            "resolves": 0,
+            "component_solves": 0,
+            "flows_resolved": 0,
+            "rebuilds": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Union-find over links
+    # ------------------------------------------------------------------
+    def _find(self, link: Hashable) -> Hashable:
+        parent = self._parent
+        root = link
+        while parent[root] != root:
+            root = parent[root]
+        while parent[link] != root:
+            parent[link], link = root, parent[link]
+        return root
+
+    def _link_root(self, link: Hashable) -> Hashable:
+        if link not in self._parent:
+            self._parent[link] = link
+            self._rank[link] = 0
+            self._members[link] = set()
+        return self._find(link)
+
+    def _union(self, a: Hashable, b: Hashable) -> Hashable:
+        if a == b:
+            return a
+        if self._rank[a] < self._rank[b]:
+            a, b = b, a
+        self._parent[b] = a
+        if self._rank[a] == self._rank[b]:
+            self._rank[a] += 1
+        # Merge member sets small-into-large onto the surviving root.
+        members_a = self._members.pop(a, None) or set()
+        members_b = self._members.pop(b, None) or set()
+        if len(members_a) < len(members_b):
+            members_a, members_b = members_b, members_a
+        members_a.update(members_b)
+        self._members[a] = members_a
+        return a
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def upsert(self, flow: FlowDemand) -> None:
+        """Register a new/changed flow.  A no-op when the solver inputs
+        are identical to the registered ones (rates cannot move)."""
+        flow_id = flow.flow_id
+        old = self._flows.get(flow_id)
+        if old is not None and old.same_inputs(flow):
+            self._flows[flow_id] = flow
+            return
+        if old is not None:
+            self._detach(flow_id, old)
+        self._flows[flow_id] = flow
+        if flow_id not in self._seq:
+            self._seq[flow_id] = self._next_seq
+            self._next_seq += 1
+        self._dirty_flows.add(flow_id)
+        if flow.is_free():
+            self._free.add(flow_id)
+        else:
+            root = self._link_root(flow.links[0])
+            for link in flow.links[1:]:
+                root = self._union(root, self._link_root(link))
+            self._members[root].add(flow_id)
+
+    def remove(self, flow_id: Hashable) -> None:
+        """Drop a departed flow; its old component is marked dirty."""
+        flow = self._flows.pop(flow_id, None)
+        self._dirty_flows.discard(flow_id)
+        if flow is None:
+            return
+        self._seq.pop(flow_id, None)
+        self._alloc.pop(flow_id, None)
+        self._detach(flow_id, flow)
+
+    def _detach(self, flow_id: Hashable, flow: FlowDemand) -> None:
+        if flow.is_free():
+            self._free.discard(flow_id)
+            return
+        root = self._find(flow.links[0])
+        self._members[root].discard(flow_id)
+        self._dirty_links.update(flow.links)
+        self._removals += 1
+
+    def touch_link(self, link: Hashable) -> None:
+        """Mark a link dirty (e.g. its capacity changed)."""
+        self._dirty_links.add(link)
+
+    def reset(self) -> None:
+        self.__init__()
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolve(
+        self, capacities: Mapping[Hashable, float], full: bool = False
+    ) -> Dict[Hashable, float]:
+        """Re-solve dirty components; returns flow_id -> rate for every
+        re-solved flow.  With ``full=True`` every component is re-solved
+        from scratch (the reference mode the differential suite compares
+        against — identical results, no cache reuse).
+        """
+        self.stats["resolves"] += 1
+        if full:
+            self._rebuild()
+        elif self._removals > max(self._REBUILD_MIN, len(self._flows) // 2):
+            self._rebuild()
+        touched: Set[Hashable] = set()
+        result: Dict[Hashable, float] = {}
+        roots: Set[Hashable] = set()
+        if full:
+            roots.update(self._members)
+            for flow_id in self._free:
+                result[flow_id] = self._flows[flow_id].demand_bps
+            touched.update(self._dirty_links)
+        else:
+            for link in self._dirty_links:
+                touched.add(link)
+                if link in self._parent:
+                    roots.add(self._find(link))
+            for flow_id in self._dirty_flows:
+                flow = self._flows.get(flow_id)
+                if flow is None:
+                    continue
+                if flow.is_free():
+                    result[flow_id] = flow.demand_bps
+                else:
+                    roots.add(self._find(flow.links[0]))
+        # Deterministic component order (oldest member first); the order
+        # does not affect values, only reporting.
+        seq = self._seq
+        ordered = sorted(
+            (min(seq[i] for i in self._members[root]), root)
+            for root in roots
+            if self._members.get(root)
+        )
+        for _, root in ordered:
+            component = sorted(
+                (self._flows[i] for i in self._members[root]),
+                key=lambda f: seq[f.flow_id],
+            )
+            for flow in component:
+                touched.update(flow.links)
+            # Removals can leave stale merges behind (the union-find only
+            # splits on rebuild), so a root's members may really be several
+            # disconnected components.  Re-partition before solving: each
+            # true component must go through the kernel alone, or the
+            # result would not be bitwise-identical to a full solve.
+            for part in _partition(component):
+                result.update(solve_component(part, capacities))
+                self.stats["component_solves"] += 1
+        self._alloc.update(result)
+        self._dirty_flows.clear()
+        self._dirty_links.clear()
+        self.last_scope = len(result)
+        self.last_touched_links = touched
+        self.stats["flows_resolved"] += len(result)
+        return result
+
+    def _rebuild(self) -> None:
+        """Re-partition from the live flows (splits stale over-merges)."""
+        self._parent.clear()
+        self._rank.clear()
+        self._members.clear()
+        for flow_id, flow in self._flows.items():
+            if flow.is_free():
+                continue
+            root = self._link_root(flow.links[0])
+            for link in flow.links[1:]:
+                root = self._union(root, self._link_root(link))
+            self._members[root].add(flow_id)
+        self._removals = 0
+        self.stats["rebuilds"] += 1
+
+    # ------------------------------------------------------------------
+    # Introspection / compatibility
+    # ------------------------------------------------------------------
+    @property
+    def alloc(self) -> Dict[Hashable, float]:
+        """The full cached allocation (flow_id -> rate)."""
+        return dict(self._alloc)
+
+    def flow_count(self) -> int:
+        return len(self._flows)
 
     def update(
         self,
@@ -311,38 +689,20 @@ class IncrementalSolver:
         capacities: Mapping[Hashable, float],
         changed: Iterable[Hashable],
     ) -> Dict[Hashable, float]:
-        current_ids = {f.flow_id for f in flows}
-        # Seeds: changed flows plus any flow sharing a link the changed
-        # flows used to cross (covers departures and re-routes, whose old
-        # path may free capacity for flows not on the new path).
-        seeds: Set[Hashable] = set(changed) & current_ids
-        old_links: Set[Hashable] = set()
+        """Batch-style API: take the full current flow set plus the ids
+        that changed (arrived, departed, or re-routed) and return the new
+        full allocation.  Results match :func:`solve` exactly on every
+        component containing a changed flow; untouched components keep
+        their cached (equally exact) rates.
+        """
+        current = {f.flow_id: f for f in flows}
+        for flow_id in [i for i in self._flows if i not in current]:
+            self.remove(flow_id)
         for flow_id in changed:
-            if flow_id in self._last_links:
-                old_links.update(self._last_links[flow_id])
-        if old_links:
-            for flow in flows:
-                if any(l in old_links for l in flow.links):
-                    seeds.add(flow.flow_id)
-        component = affected_component(flows, seeds)
-        scope = [f for f in flows if f.flow_id in component]
-        # Any flow that shares a link with the component must also be
-        # re-solved — but by construction the component is closed under
-        # link sharing, so `scope` is complete.
-        partial = solve(scope, capacities)
-        # Merge with untouched allocations; drop departed flows.
-        merged: Dict[Hashable, float] = {}
-        for flow in flows:
-            if flow.flow_id in partial:
-                merged[flow.flow_id] = partial[flow.flow_id]
+            flow = current.get(flow_id)
+            if flow is None:
+                self.remove(flow_id)
             else:
-                merged[flow.flow_id] = self._alloc.get(flow.flow_id, 0.0)
-        self._alloc = merged
-        self._last_links = {f.flow_id: f.links for f in flows}
-        self.last_scope = len(scope)
-        return dict(merged)
-
-    def reset(self) -> None:
-        self._alloc.clear()
-        self._last_links.clear()
-        self.last_scope = 0
+                self.upsert(flow)
+        self.resolve(capacities)
+        return {flow_id: self._alloc.get(flow_id, 0.0) for flow_id in current}

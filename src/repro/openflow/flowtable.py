@@ -95,6 +95,10 @@ class FlowTable:
         #: Cumulative lookup statistics (OpenFlow table-stats).
         self.lookup_count = 0
         self.matched_count = 0
+        #: Monotonic generation counter, bumped on every mutation that
+        #: can change lookup results.  Caches keyed on a table's version
+        #: stay valid exactly as long as its rule set is unchanged.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Lookup
@@ -149,6 +153,7 @@ class FlowTable:
                 )
             self._entries.append(entry)
         self._entries.sort(key=lambda e: e.sort_key)
+        self.version += 1
         return entry
 
     def modify(
@@ -168,6 +173,8 @@ class FlowTable:
             if self._selected(entry, match, priority, strict):
                 entry.instructions = tuple(instructions)
                 touched.append(entry)
+        if touched:
+            self.version += 1
         return touched
 
     def delete(
@@ -188,6 +195,8 @@ class FlowTable:
             else:
                 kept.append(entry)
         self._entries = kept
+        if removed:
+            self.version += 1
         return removed
 
     @staticmethod
@@ -211,6 +220,8 @@ class FlowTable:
             else:
                 expired.append((entry, reason))
         self._entries = kept
+        if expired:
+            self.version += 1
         return expired
 
     # ------------------------------------------------------------------
@@ -231,6 +242,8 @@ class FlowTable:
         return iter(self._entries)
 
     def clear(self) -> None:
+        if self._entries:
+            self.version += 1
         self._entries.clear()
 
     def stats(self) -> dict:

@@ -135,6 +135,9 @@ class GroupTable:
 
     def __init__(self) -> None:
         self._groups: Dict[int, Group] = {}
+        #: Monotonic generation counter, bumped on every mutation (used
+        #: by routing caches to detect group-mod changes).
+        self.version = 0
 
     def add(
         self, group_id: int, group_type: GroupType, buckets: Sequence[Bucket]
@@ -143,6 +146,7 @@ class GroupTable:
             raise GroupError(f"group {group_id} already exists")
         group = Group(group_id, group_type, buckets)
         self._groups[group_id] = group
+        self.version += 1
         return group
 
     def modify(
@@ -153,13 +157,16 @@ class GroupTable:
         group = Group(group_id, group_type, buckets)
         group.ref_count = self._groups[group_id].ref_count
         self._groups[group_id] = group
+        self.version += 1
         return group
 
     def delete(self, group_id: int) -> Group:
         try:
-            return self._groups.pop(group_id)
+            group = self._groups.pop(group_id)
         except KeyError:
             raise GroupError(f"cannot delete unknown group {group_id}") from None
+        self.version += 1
+        return group
 
     def get(self, group_id: int) -> Group:
         try:
@@ -178,4 +185,6 @@ class GroupTable:
         return list(self._groups.values())
 
     def clear(self) -> None:
+        if self._groups:
+            self.version += 1
         self._groups.clear()

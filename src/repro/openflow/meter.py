@@ -121,12 +121,16 @@ class MeterTable:
 
     def __init__(self) -> None:
         self._meters: Dict[int, Meter] = {}
+        #: Monotonic generation counter, bumped on every mutation (used
+        #: by routing caches to detect meter-mod changes).
+        self.version = 0
 
     def add(self, meter_id: int, bands: Sequence[DropBand]) -> Meter:
         if meter_id in self._meters:
             raise MeterError(f"meter {meter_id} already exists")
         meter = Meter(meter_id, bands)
         self._meters[meter_id] = meter
+        self.version += 1
         return meter
 
     def modify(self, meter_id: int, bands: Sequence[DropBand]) -> Meter:
@@ -134,13 +138,16 @@ class MeterTable:
             raise MeterError(f"cannot modify unknown meter {meter_id}")
         meter = Meter(meter_id, bands)
         self._meters[meter_id] = meter
+        self.version += 1
         return meter
 
     def delete(self, meter_id: int) -> Meter:
         try:
-            return self._meters.pop(meter_id)
+            meter = self._meters.pop(meter_id)
         except KeyError:
             raise MeterError(f"cannot delete unknown meter {meter_id}") from None
+        self.version += 1
+        return meter
 
     def get(self, meter_id: int) -> Meter:
         try:
@@ -159,4 +166,6 @@ class MeterTable:
         return list(self._meters.values())
 
     def clear(self) -> None:
+        if self._meters:
+            self.version += 1
         self._meters.clear()

@@ -248,6 +248,19 @@ class OpenFlowPipeline:
     def total_entries(self) -> int:
         return sum(len(t) for t in self.tables)
 
+    @property
+    def version(self) -> int:
+        """Monotonic pipeline generation: bumps whenever any flow table,
+        the group table, or the meter table changes.  Routing caches key
+        their entries on the versions of every pipeline they consulted,
+        so a flow-mod/group-mod invalidates exactly the cached routes
+        that crossed the modified switch."""
+        return (
+            sum(t.version for t in self.tables)
+            + self.groups.version
+            + self.meters.version
+        )
+
     def clear(self) -> None:
         for table in self.tables:
             table.clear()

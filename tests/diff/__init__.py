@@ -1,0 +1,9 @@
+"""Differential-testing suite: the correctness gate for the incremental
+solver hot path.
+
+These tests compare the incremental solver against from-scratch solves
+(bitwise), the flow engine's ``solver="incremental"`` mode against
+``solver="full"`` (identical rates and completion times), and the
+flow-level engine against the packet-level baseline (within the E3
+accuracy tolerance).  See docs/testing.md.
+"""

@@ -1,0 +1,181 @@
+"""Differential tests: IncrementalSolver vs from-scratch :func:`solve`.
+
+The incremental hot path is only safe as a default if, after *any*
+sequence of upserts/removals/link touches, its allocations are bitwise
+identical to a from-scratch solve over the live flow set.  These tests
+drive randomized update sequences (hypothesis-shrinkable) over
+topologies up to ~50 switches (~100 directed link keys) and assert
+exact equality after every resolve.
+
+Removal-heavy sequences matter most: removals leave stale union-find
+merges behind (the index only rebuilds lazily), so a dirty "component"
+may really be several disconnected ones, and solving them as one merged
+set would not be bitwise-identical to solving them separately.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flowsim.fairshare import (
+    FlowDemand,
+    IncrementalSolver,
+    affected_component,
+    solve,
+)
+
+#: ~50 switches' worth of directed link keys.
+NUM_LINKS = 100
+
+DEMAND_CHOICES = (0.0, 1e6, 8e6, 40e6, 100e6, 1e9, 40e9)
+WEIGHT_CHOICES = (1.0, 1.0, 1.0, 0.5, 2.0, 4.0)
+
+
+def _capacities(rng: random.Random) -> dict:
+    return {
+        link: rng.choice((10e6, 100e6, 1e9, 10e9, 100e9))
+        for link in range(NUM_LINKS)
+    }
+
+
+def _random_flow(rng: random.Random, flow_id: int) -> FlowDemand:
+    num_links = rng.randint(0, 6)
+    links = rng.sample(range(NUM_LINKS), num_links)
+    return FlowDemand(
+        flow_id,
+        rng.choice(DEMAND_CHOICES),
+        links,
+        weight=rng.choice(WEIGHT_CHOICES),
+    )
+
+
+def _reference(live: dict, capacities: dict) -> dict:
+    return solve(list(live.values()), capacities)
+
+
+def _check(solver: IncrementalSolver, live: dict, capacities: dict):
+    solver.resolve(capacities)
+    got = {fid: solver.alloc[fid] for fid in live}
+    expected = _reference(live, capacities)
+    assert got == expected  # bitwise, not approx
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    ops=st.integers(min_value=5, max_value=120),
+    resolve_every=st.integers(min_value=1, max_value=7),
+)
+def test_random_update_sequences_match_full_solve(seed, ops, resolve_every):
+    rng = random.Random(seed)
+    capacities = _capacities(rng)
+    solver = IncrementalSolver()
+    live: dict = {}
+    next_id = 0
+    for step in range(ops):
+        action = rng.random()
+        if action < 0.55 or not live:
+            flow = _random_flow(rng, next_id)
+            next_id += 1
+            live[flow.flow_id] = flow
+            solver.upsert(flow)
+        elif action < 0.8:
+            fid = rng.choice(list(live))
+            del live[fid]
+            solver.remove(fid)
+        else:
+            # Reroute/redemand: upsert under an existing id.
+            fid = rng.choice(list(live))
+            flow = _random_flow(rng, fid)
+            live[fid] = flow
+            solver.upsert(flow)
+        if step % resolve_every == 0:
+            _check(solver, live, capacities)
+    _check(solver, live, capacities)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_removal_heavy_sequences_split_stale_merges(seed):
+    """Build one big connected blob, then carve it apart with removals —
+    the surviving flows decompose into several true components that the
+    stale union-find still records as one.  Stays below the lazy-rebuild
+    threshold so the over-merge is actually exercised."""
+    rng = random.Random(seed)
+    capacities = _capacities(rng)
+    solver = IncrementalSolver()
+    live: dict = {}
+    # Bridge flows chain many links together into one component.
+    for fid in range(60):
+        links = rng.sample(range(NUM_LINKS), rng.randint(2, 4))
+        flow = FlowDemand(fid, rng.choice(DEMAND_CHOICES[1:]), links,
+                          weight=rng.choice(WEIGHT_CHOICES))
+        live[fid] = flow
+        solver.upsert(flow)
+    _check(solver, live, capacities)
+    # Remove roughly half — far below the rebuild threshold of 64 — so
+    # the union-find keeps the stale merged component.
+    for fid in rng.sample(range(60), 30):
+        del live[fid]
+        solver.remove(fid)
+    _check(solver, live, capacities)
+    # Touch every remaining flow so every stale root goes dirty.
+    for fid, flow in list(live.items()):
+        bumped = FlowDemand(fid, flow.demand_bps * 2, flow.links,
+                            weight=flow.weight)
+        live[fid] = bumped
+        solver.upsert(bumped)
+    _check(solver, live, capacities)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_link_touch_rescopes_correctly(seed):
+    """Capacity changes via touch_link re-solve the affected component
+    and still match a from-scratch solve under the new capacities."""
+    rng = random.Random(seed)
+    capacities = _capacities(rng)
+    solver = IncrementalSolver()
+    live: dict = {}
+    for fid in range(40):
+        flow = _random_flow(rng, fid)
+        live[fid] = flow
+        solver.upsert(flow)
+    _check(solver, live, capacities)
+    for _ in range(5):
+        link = rng.randrange(NUM_LINKS)
+        capacities[link] = rng.choice((10e6, 1e9, 100e9))
+        solver.touch_link(link)
+        _check(solver, live, capacities)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_affected_component_matches_transitive_closure(seed):
+    """``affected_component`` equals the brute-force transitive closure
+    over the flow/link sharing graph."""
+    rng = random.Random(seed)
+    flows = [_random_flow(rng, fid) for fid in range(rng.randint(1, 30))]
+    changed = set(
+        rng.sample([f.flow_id for f in flows], rng.randint(1, len(flows)))
+    )
+    got = affected_component(flows, changed)
+    # Brute force: fixed-point closure over shared links.
+    closure = set(changed)
+    links: set = set()
+    for flow in flows:
+        if flow.flow_id in closure:
+            links.update(flow.links)
+    while True:
+        grew = False
+        for flow in flows:
+            if flow.flow_id in closure:
+                continue
+            if any(link in links for link in flow.links):
+                closure.add(flow.flow_id)
+                links.update(flow.links)
+                grew = True
+        if not grew:
+            break
+    assert got == closure

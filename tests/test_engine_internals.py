@@ -53,7 +53,7 @@ class TestSlotMachinery:
     def test_slots_are_reused_after_retirement(self):
         topo = star_with_rules()
         sim = Simulator()
-        engine = FlowLevelEngine(sim, topo)
+        engine = FlowLevelEngine(sim, topo, solver="vector")
         # Sequential flows: each completes before the next arrives, so
         # the same slot serves them all.
         for i in range(20):
@@ -68,7 +68,7 @@ class TestSlotMachinery:
     def test_compaction_reclaims_dead_segments(self):
         topo = star_with_rules()
         sim = Simulator()
-        engine = FlowLevelEngine(sim, topo)
+        engine = FlowLevelEngine(sim, topo, solver="vector")
         # Enough sequential flows that dead incidence entries (2 per
         # flow: access + egress links) exceed the compaction threshold.
         count = 2500
@@ -94,7 +94,7 @@ class TestSlotMachinery:
     def test_concurrent_flows_get_distinct_slots(self):
         topo = star_with_rules()
         sim = Simulator()
-        engine = FlowLevelEngine(sim, topo)
+        engine = FlowLevelEngine(sim, topo, solver="vector")
         flows = [
             quick_flow(topo, "h1", "h2", sport=1000 + i, size=10_000_000)
             for i in range(10)
@@ -110,7 +110,7 @@ class TestSlotMachinery:
         rate bookkeeping (both paths share the slot arrays)."""
         topo = star_with_rules(num_hosts=4, capacity=100e6)
         sim = Simulator()
-        engine = FlowLevelEngine(sim, topo)
+        engine = FlowLevelEngine(sim, topo, solver="vector")
         # 60 concurrent flows to h2 (vector path), completing gradually
         # down into scalar territory.
         flows = [
@@ -128,7 +128,7 @@ class TestSlotMachinery:
     def test_direction_capacity_cache_matches_topology(self):
         topo = star_with_rules(capacity=123e6)
         sim = Simulator()
-        engine = FlowLevelEngine(sim, topo)
+        engine = FlowLevelEngine(sim, topo, solver="vector")
         engine.submit(quick_flow(topo, "h1", "h2", sport=1000))
         sim.run()
         for direction, index in engine._dir_index.items():

@@ -7,9 +7,12 @@ from hypothesis import strategies as st
 
 from repro.flowsim.fairshare import (
     EPSILON_BPS,
+    RELATIVE_EPSILON,
     FlowDemand,
     IncrementalSolver,
     affected_component,
+    demand_eps,
+    saturation_eps,
     solve,
     solve_arrays,
 )
@@ -202,6 +205,77 @@ def test_property_incremental_matches_full(seed):
             assert got[f.flow_id] == pytest.approx(
                 want[f.flow_id], rel=1e-5, abs=1e-5
             )
+
+
+class TestRelativeTolerance:
+    """The saturation/demand thresholds scale with magnitude: at 100 Gbps
+    one ulp is ~1.5e-5 bps, so the legacy absolute 1e-6 bps threshold sat
+    *below* float rounding noise and saturated links could be missed."""
+
+    CAP_100G = 100e9
+
+    def test_saturation_eps_is_relative_at_100g(self):
+        eps = saturation_eps(self.CAP_100G)
+        assert eps == RELATIVE_EPSILON * self.CAP_100G  # 100 bps
+        # It must exceed one ulp of the capacity, or rounding during the
+        # fill loop defeats saturation detection.
+        assert eps > np.spacing(self.CAP_100G)
+        # Small capacities keep the absolute floor.
+        assert saturation_eps(1.0) == EPSILON_BPS
+        assert demand_eps(self.CAP_100G) > np.spacing(self.CAP_100G)
+
+    def test_two_flows_split_100g_link_exactly(self):
+        alloc = solve(
+            [fd("a", self.CAP_100G, ["l"]), fd("b", self.CAP_100G, ["l"])],
+            {"l": self.CAP_100G},
+        )
+        assert alloc == {"a": 50e9, "b": 50e9}
+
+    def test_three_way_split_saturates_despite_rounding(self):
+        # cap/3 is inexact in binary; the three shares need not sum back
+        # to exactly cap.  The relative threshold must still classify the
+        # link as saturated and hold every flow at the fair share.
+        cap = self.CAP_100G
+        alloc = solve(
+            [fd("a", cap, ["l"]), fd("b", cap, ["l"]), fd("c", cap, ["l"])],
+            {"l": cap},
+        )
+        share = cap / 3.0
+        assert all(rate == pytest.approx(share, rel=1e-12)
+                   for rate in alloc.values())
+        assert sum(alloc.values()) <= cap + saturation_eps(cap)
+
+    def test_100g_parking_lot(self):
+        # Classic parking lot at 100G: the shared link saturates, the
+        # demand-limited flow frees its slack to the others.
+        cap = self.CAP_100G
+        alloc = solve(
+            [
+                fd("long", cap, ["l1", "l2"]),
+                fd("short1", cap, ["l1"]),
+                fd("limited", 10e9, ["l2"]),
+            ],
+            {"l1": cap, "l2": cap},
+        )
+        assert alloc["limited"] == 10e9
+        assert alloc["long"] == pytest.approx(cap / 2.0, rel=1e-12)
+        assert alloc["short1"] == pytest.approx(cap / 2.0, rel=1e-12)
+
+    def test_incremental_matches_solve_at_100g(self):
+        cap = self.CAP_100G
+        flows = [
+            fd("a", cap, ["l1", "l2"]),
+            fd("b", cap / 3.0, ["l1"]),
+            fd("c", cap, ["l2"]),
+        ]
+        caps = {"l1": cap, "l2": cap}
+        solver = IncrementalSolver()
+        for flow in flows:
+            solver.upsert(flow)
+        solver.resolve(caps)
+        assert {f.flow_id: solver.alloc[f.flow_id] for f in flows} == solve(
+            flows, caps
+        )
 
 
 class TestAffectedComponent:
