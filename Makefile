@@ -1,6 +1,6 @@
 # Convenience targets for the Horse reproduction.
 
-.PHONY: install test lint typecheck check bench bench-quick examples clean
+.PHONY: install test lint typecheck check bench bench-quick sweep-smoke examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -29,6 +29,18 @@ bench:
 bench-quick:
 	pytest benchmarks/bench_e1_scale_topology.py benchmarks/bench_e3_accuracy.py --benchmark-only
 
+# Crash-isolation smoke: a 4-job sweep on 2 workers with one injected
+# worker crash must retry the job and still complete 4/4.
+sweep-smoke:
+	rm -rf .sweep-smoke
+	python -m repro sweep examples/scenarios/sweep_smoke.json \
+		--out .sweep-smoke --workers 2
+	@python -c "import json; \
+		r = json.load(open('.sweep-smoke/report.json')); \
+		assert r['execution']['retried'] == [2], r['execution']; \
+		assert not r['summary']['failed'], r['summary']; \
+		print('sweep-smoke: crash retried, 4/4 jobs completed')"
+
 examples:
 	@for script in examples/*.py; do \
 		echo "== $$script"; \
@@ -36,5 +48,5 @@ examples:
 	done
 
 clean:
-	rm -rf .pytest_cache .hypothesis .benchmarks
+	rm -rf .pytest_cache .hypothesis .benchmarks .sweep-smoke
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,94 @@
+"""E10: the sweep runtime's own wall-clock scaling with pool width.
+
+Four identical pod-workload jobs (the incremental solver's target
+regime, see :func:`harness.pod_workload`) run through the
+crash-isolated worker pool at 1, 2, and 4 workers.  Expected shape:
+the jobs are independent CPU-bound simulations, so wall-clock shrinks
+as workers are added — imperfectly, because of fork + result-file
+overhead — and the per-job results are identical at every pool width.
+Absolute times are calibration-normalized and recorded, not asserted.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.runtime import run_jobs
+
+from .harness import (
+    calibration_score,
+    pod_workload,
+    record,
+    rows,
+    timed_solver_run,
+    write_table,
+)
+
+JOBS = 4
+
+#: Downsized pod workload: ~1.3 s serial per job on the reference host.
+POD_KW = {"pods": 20, "hosts_per_pod": 8, "flows_per_pod": 150}
+UNTIL = 2.0
+
+
+def _sweep_job(payload: dict) -> dict:
+    """Pool worker: run one pod-workload job, return its fingerprint."""
+    topo, flows = pod_workload(seed=payload["seed"], **payload["pods"])
+    wall, rates = timed_solver_run(topo, flows, "incremental", payload["until"])
+    return {
+        "index": payload["index"],
+        "job_wall_s": round(wall, 4),
+        "rate_checksum_mbps": round(sum(rates) / 1e6, 3),
+    }
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def bench_e10_sweep(benchmark, tmp_path, workers):
+    payloads = [
+        {"index": i, "seed": 100 + i, "pods": POD_KW, "until": UNTIL}
+        for i in range(JOBS)
+    ]
+    out_paths = [str(tmp_path / f"job-{i}.json") for i in range(JOBS)]
+
+    def run():
+        start = time.perf_counter()
+        outcomes = run_jobs(
+            payloads, _sweep_job, out_paths, workers=workers, retries=0
+        )
+        elapsed = time.perf_counter() - start
+        assert all(o.ok for o in outcomes)
+        return elapsed
+
+    elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    results = []
+    for path in out_paths:
+        with open(path) as handle:
+            results.append(json.load(handle))
+    record(
+        "E10",
+        {
+            "workers": workers,
+            "jobs": JOBS,
+            "wall_s": round(elapsed, 3),
+            "normalized": round(elapsed / calibration_score(), 3),
+            "sum_job_wall_s": round(sum(r["job_wall_s"] for r in results), 3),
+            "checksum": tuple(r["rate_checksum_mbps"] for r in results),
+        },
+    )
+
+
+def bench_e10_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    by_workers = {r["workers"]: r["wall_s"] for r in rows("E10")}
+    # Deterministic results regardless of pool width: every row saw the
+    # same per-job rate vectors.
+    assert len({r["checksum"] for r in rows("E10")}) == 1
+    # Shape: adding workers helps, to the extent the host has cores.
+    cores = os.cpu_count() or 1
+    if cores >= 2:
+        assert by_workers[2] < by_workers[1] * 0.85
+    if cores >= 4:
+        assert by_workers[4] < by_workers[1] * 0.75
+    write_table("E10", "sweep wall-clock vs pool width (4 pod-workload jobs)")

@@ -1,32 +1,21 @@
-"""Command-line interface: run scenarios and manage topologies.
+"""Command-line interface: run scenarios, sweeps, and topologies.
 
-Three subcommands::
+Subcommands::
 
     python -m repro topo --kind fat-tree --k 4 --out topo.json
     python -m repro info topo.json
     python -m repro run scenario.json --flows-csv flows.csv --json run.json
+    python -m repro run scenario.json --checkpoint state.ckpt
+    python -m repro run --restore state.ckpt --json run.json
+    python -m repro sweep sweep.json --out DIR --workers 4
+    python -m repro resume DIR
 
 A *scenario* is one JSON document describing topology, policies,
-traffic, and engine — everything a run needs, so experiments are
-shareable files rather than scripts.  Schema::
-
-    {
-      "engine": "flow" | "packet",
-      "solver": "incremental" | "full" | "vector",   # flow engine only
-      "route_cache": true,                           # flow engine only
-      "seed": 0,
-      "until": 60.0,
-      "topology": {"kind": "fat-tree", "k": 4}
-                | {"kind": "leaf-spine", "leaves": 4, "spines": 2, ...}
-                | {"kind": "linear", "switches": 3, ...}
-                | {"kind": "ixp", "members": 32, "seed": 1}
-                | {"file": "topo.json"},
-      "policies": { ... same dict the policy generator accepts ... },
-      "traffic":  {"kind": "matrix", "model": "uniform" | "gravity-ixp",
-                   "total": "10 Gbps", "horizon_s": 5.0,
-                   "constant_rate": false}
-                | {"kind": "trace", "file": "flows.jsonl"}
-    }
+traffic, engine, and runtime knobs — everything a run needs, so
+experiments are shareable files rather than scripts (schema in
+:mod:`repro.runtime.scenario`).  A *sweep spec* adds a parameter grid
+and pool settings on top of a base scenario (schema in
+:mod:`repro.runtime.sweep`).
 """
 
 from __future__ import annotations
@@ -38,101 +27,48 @@ from typing import List, Optional
 
 from .core import Horse, HorseConfig
 from .errors import ExperimentError, HorseError
-from .net.generators import fat_tree, leaf_spine, linear, single_switch
 from .net.io import load_topology, save_topology
+from .runtime.scenario import (
+    build_horse,
+    build_topology as _build_topology,
+    build_traffic as _build_traffic,
+    reset_id_counters,
+)
 from .stats.export import flows_to_csv, result_to_json, summary_text
-from .traffic.matrix import TrafficMatrix
-from .control.policy.spec import parse_rate
-
-
-def _build_topology(spec: dict):
-    """Build a topology (and the IXP fabric, when applicable)."""
-    if "file" in spec:
-        return load_topology(spec["file"]), None
-    kind = spec.get("kind")
-    if kind == "fat-tree":
-        return fat_tree(spec.get("k", 4)), None
-    if kind == "leaf-spine":
-        return (
-            leaf_spine(
-                spec.get("leaves", 4),
-                spec.get("spines", 2),
-                hosts_per_leaf=spec.get("hosts_per_leaf", 2),
-            ),
-            None,
-        )
-    if kind == "linear":
-        return (
-            linear(
-                spec.get("switches", 2),
-                hosts_per_switch=spec.get("hosts_per_switch", 1),
-            ),
-            None,
-        )
-    if kind == "star":
-        return single_switch(spec.get("hosts", 4)), None
-    if kind == "ixp":
-        from .ixp import build_ixp
-
-        fabric = build_ixp(
-            spec.get("members", 16), seed=spec.get("seed", 0)
-        )
-        return fabric.topology, fabric
-    raise ExperimentError(f"unknown topology kind {kind!r}")
-
-
-def _build_traffic(spec: dict, horse: Horse, fabric) -> int:
-    """Generate and submit the scenario's traffic; returns flow count."""
-    kind = spec.get("kind", "matrix")
-    if kind == "trace":
-        from .traffic.trace_io import load_trace
-
-        flows = load_trace(spec["file"])
-        horse.submit_flows(flows)
-        return len(flows)
-    if kind == "matrix":
-        model = spec.get("model", "uniform")
-        total = parse_rate(spec.get("total", "1 Gbps"))
-        hosts = [h.name for h in horse.topology.hosts]
-        if model == "uniform":
-            matrix = TrafficMatrix.uniform(hosts, total_bps=total)
-        elif model == "gravity-ixp":
-            if fabric is None:
-                raise ExperimentError(
-                    "gravity-ixp traffic needs an ixp topology"
-                )
-            from .traffic.ixp_trace import ixp_gravity_matrix
-
-            matrix = ixp_gravity_matrix(fabric, total_bps=total)
-        else:
-            raise ExperimentError(f"unknown matrix model {model!r}")
-        flows = horse.submit_matrix(
-            matrix,
-            horizon_s=spec.get("horizon_s", 5.0),
-            constant_rate=spec.get("constant_rate", False),
-        )
-        return len(flows)
-    raise ExperimentError(f"unknown traffic kind {kind!r}")
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    with open(args.scenario) as handle:
-        scenario = json.load(handle)
-    topology, fabric = _build_topology(scenario.get("topology", {}))
-    config = HorseConfig(
-        engine=scenario.get("engine", "flow"),
-        solver=getattr(args, "solver", None) or scenario.get("solver", "incremental"),
-        route_cache=scenario.get("route_cache", True),
-        seed=scenario.get("seed", 0),
-        link_sample_interval_s=scenario.get("link_sample_interval_s"),
-        monitor_interval_s=scenario.get("monitor_interval_s"),
-    )
-    horse = Horse(
-        topology, policies=scenario.get("policies") or {}, config=config
-    )
-    count = _build_traffic(scenario.get("traffic", {}), horse, fabric)
-    print(f"scenario: {args.scenario} ({count} flows submitted)")
-    result = horse.run(until=scenario.get("until"))
+    # Rewind the process-global id counters so two identical invocations
+    # emit identical documents (ids included) even in one process.
+    reset_id_counters()
+    if args.restore:
+        if args.scenario:
+            raise ExperimentError(
+                "pass a scenario file or --restore, not both"
+            )
+        horse = Horse.restore(args.restore)
+        print(f"restored checkpoint: {args.restore} (t={horse.sim.now:g} s)")
+        until = args.until if args.until is not None else horse.last_until
+        result = horse.run(until=until)
+    else:
+        if not args.scenario:
+            raise ExperimentError("a scenario file (or --restore) is required")
+        with open(args.scenario) as handle:
+            scenario = json.load(handle)
+        if args.checkpoint:
+            runtime = dict(scenario.get("runtime") or {})
+            runtime["checkpoint_path"] = args.checkpoint
+            if args.checkpoint_interval:
+                runtime["checkpoint_interval_s"] = args.checkpoint_interval
+            scenario["runtime"] = runtime
+        horse, fabric = build_horse(scenario, solver=args.solver)
+        count = _build_traffic(scenario.get("traffic", {}), horse, fabric)
+        print(f"scenario: {args.scenario} ({count} flows submitted)")
+        result = horse.run(until=args.until or scenario.get("until"))
+        if args.checkpoint and not args.checkpoint_interval:
+            # No periodic ticker: snapshot the final state explicitly.
+            horse.checkpoint(args.checkpoint)
+            print(f"wrote checkpoint to {args.checkpoint}")
     print(summary_text(result))
     if args.flows_csv:
         rows = flows_to_csv(result, args.flows_csv)
@@ -141,6 +77,55 @@ def cmd_run(args: argparse.Namespace) -> int:
         result_to_json(result, args.json)
         print(f"wrote run document to {args.json}")
     return 0
+
+
+def _sweep_progress(kind: str, index: int, attempt: int, detail: str) -> None:
+    if kind == "start":
+        print(f"job {index:4d} attempt {attempt} started")
+    elif kind == "ok":
+        print(f"job {index:4d} done")
+    elif kind in ("crash", "timeout"):
+        print(f"job {index:4d} attempt {attempt} {kind}: {detail}")
+    elif kind == "retry":
+        print(f"job {index:4d} retrying (attempt {attempt}) {detail}")
+    elif kind == "failed":
+        print(f"job {index:4d} FAILED: {detail}")
+
+
+def _report_exit(report: dict, out_dir: str) -> int:
+    summary = report["summary"]
+    print(
+        f"sweep '{report['name']}': {summary['completed']}/{summary['jobs']} "
+        f"jobs completed -> {out_dir}/report.json"
+    )
+    if summary["failed"]:
+        print(f"failed jobs: {summary['failed']}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .runtime.sweep import SweepSpec, run_sweep
+
+    spec = SweepSpec.from_file(args.spec)
+    report = run_sweep(
+        spec,
+        args.out,
+        workers=args.workers,
+        on_event=None if args.quiet else _sweep_progress,
+    )
+    return _report_exit(report, args.out)
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    from .runtime.sweep import resume_sweep
+
+    report = resume_sweep(
+        args.dir,
+        workers=args.workers,
+        on_event=None if args.quiet else _sweep_progress,
+    )
+    return _report_exit(report, args.dir)
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -221,8 +206,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run_p = sub.add_parser("run", help="run a scenario file")
-    run_p.add_argument("scenario", help="scenario JSON path")
+    run_p = sub.add_parser("run", help="run a scenario file (or a checkpoint)")
+    run_p.add_argument(
+        "scenario", nargs="?", help="scenario JSON path (omit with --restore)"
+    )
     run_p.add_argument("--flows-csv", help="write per-flow records here")
     run_p.add_argument("--json", help="write the full run document here")
     run_p.add_argument(
@@ -230,7 +217,52 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["incremental", "full", "vector"],
         help="flow-engine rate solver (overrides the scenario)",
     )
+    run_p.add_argument(
+        "--until", type=float, help="stop at this simulated time (seconds)"
+    )
+    run_p.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="checkpoint the simulation state here (at the end, or "
+        "periodically with --checkpoint-interval)",
+    )
+    run_p.add_argument(
+        "--checkpoint-interval",
+        type=float,
+        metavar="SECONDS",
+        help="simulated seconds between periodic checkpoints",
+    )
+    run_p.add_argument(
+        "--restore",
+        metavar="PATH",
+        help="resume from a checkpoint instead of building a scenario",
+    )
     run_p.set_defaults(func=cmd_run)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="expand and run a parameter sweep on a worker pool"
+    )
+    sweep_p.add_argument("spec", help="sweep spec JSON path")
+    sweep_p.add_argument("--out", required=True, help="sweep output directory")
+    sweep_p.add_argument(
+        "--workers", type=int, help="pool size (overrides the spec)"
+    )
+    sweep_p.add_argument(
+        "--quiet", action="store_true", help="suppress per-job progress lines"
+    )
+    sweep_p.set_defaults(func=cmd_sweep)
+
+    resume_p = sub.add_parser(
+        "resume", help="re-run only the unfinished jobs of a sweep directory"
+    )
+    resume_p.add_argument("dir", help="sweep output directory (with manifest.json)")
+    resume_p.add_argument(
+        "--workers", type=int, help="pool size (overrides the spec)"
+    )
+    resume_p.add_argument(
+        "--quiet", action="store_true", help="suppress per-job progress lines"
+    )
+    resume_p.set_defaults(func=cmd_resume)
 
     an_p = sub.add_parser(
         "analyze",

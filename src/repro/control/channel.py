@@ -125,20 +125,23 @@ class ControlChannel:
         """
         if self.latency_s == 0.0:
             return self._apply(message)
-        self.sim.call_in(self.latency_s, lambda s: self._apply_async(message))
+        # Deferred deliveries are bound-method events (not closures) so a
+        # pending control message survives checkpoint/restore pickling.
+        self.sim.call_in(self.latency_s, self._apply_async, message)
         return None
 
     def send_all(self, messages) -> List[Optional[Message]]:
         """Send a batch of southbound messages in order."""
         return [self.send(m) for m in messages]
 
-    def _apply_async(self, message: Message) -> None:
+    def _apply_async(self, sim: Simulator, message: Message) -> None:
         reply = self._apply(message)
         # Replies travel back after another latency.
         if reply is not None and self.controller is not None:
-            self.sim.call_in(
-                self.latency_s, lambda s: self.controller.on_reply(reply)
-            )
+            self.sim.call_in(self.latency_s, self._deliver_reply, reply)
+
+    def _deliver_reply(self, sim: Simulator, reply: Message) -> None:
+        self.controller.on_reply(reply)
 
     def _apply(self, message: Message) -> Optional[Message]:
         try:
@@ -316,12 +319,10 @@ class ControlChannel:
             if ports:
                 self.stats["packet_outs"] += 1
             return ports
-        self.sim.call_in(
-            self.latency_s, lambda s: self._async_packet_in(message)
-        )
+        self.sim.call_in(self.latency_s, self._async_packet_in, message)
         return None
 
-    def _async_packet_in(self, message: PacketIn) -> None:
+    def _async_packet_in(self, sim: Simulator, message: PacketIn) -> None:
         """Handle a delayed packet-in; ship any packet-out back to the
         data plane after another channel latency."""
         ports = self.controller.on_packet_in(message)
@@ -329,9 +330,13 @@ class ControlChannel:
             return
         self.stats["packet_outs"] += 1
         self.sim.call_in(
-            self.latency_s,
-            lambda s: self._deliver_packet_out(message, list(ports)),
+            self.latency_s, self._async_packet_out, message, list(ports)
         )
+
+    def _async_packet_out(
+        self, sim: Simulator, message: PacketIn, ports: List[int]
+    ) -> None:
+        self._deliver_packet_out(message, ports)
 
     def _deliver_packet_out(self, message: PacketIn, ports: List[int]) -> None:
         for engine in self.engines:
@@ -345,9 +350,10 @@ class ControlChannel:
         if self.latency_s == 0.0:
             self.controller.on_port_status(message)
         else:
-            self.sim.call_in(
-                self.latency_s, lambda s: self.controller.on_port_status(message)
-            )
+            self.sim.call_in(self.latency_s, self._async_port_status, message)
+
+    def _async_port_status(self, sim: Simulator, message: PortStatus) -> None:
+        self.controller.on_port_status(message)
 
     def deliver_flow_removed_entry(
         self,
@@ -378,6 +384,7 @@ class ControlChannel:
         if self.latency_s == 0.0:
             self.controller.on_flow_removed(message)
         else:
-            self.sim.call_in(
-                self.latency_s, lambda s: self.controller.on_flow_removed(message)
-            )
+            self.sim.call_in(self.latency_s, self._async_flow_removed, message)
+
+    def _async_flow_removed(self, sim: Simulator, message: FlowRemoved) -> None:
+        self.controller.on_flow_removed(message)

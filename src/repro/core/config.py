@@ -47,6 +47,12 @@ class HorseConfig:
     entry_expiry_interval_s:
         Flow engine: period of the rule-timeout sweep; None disables it
         (enable when policies use idle/hard timeouts).
+    checkpoint_path / checkpoint_interval_s:
+        When both are set, the run checkpoints its complete state to
+        ``checkpoint_path`` every ``checkpoint_interval_s`` simulated
+        seconds (atomically — a crash mid-write keeps the previous
+        checkpoint).  ``checkpoint_path`` alone just names the default
+        target for explicit :meth:`Horse.checkpoint` calls.
     """
 
     engine: str = "flow"
@@ -65,6 +71,8 @@ class HorseConfig:
     entry_expiry_interval_s: Optional[float] = None
     mean_packet_bytes: int = 1000
     max_hops: int = 64
+    checkpoint_path: Optional[str] = None
+    checkpoint_interval_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.engine not in ("flow", "packet"):
@@ -80,6 +88,13 @@ class HorseConfig:
             raise ExperimentError("control latency must be >= 0")
         if self.pipeline_tables < 1:
             raise ExperimentError("need >= 1 pipeline table")
+        if self.checkpoint_interval_s is not None:
+            if self.checkpoint_interval_s <= 0:
+                raise ExperimentError("checkpoint interval must be > 0")
+            if not self.checkpoint_path:
+                raise ExperimentError(
+                    "checkpoint_interval_s needs a checkpoint_path"
+                )
 
     def resolved_solver(self) -> str:
         """The effective solver, honouring the deprecated boolean."""

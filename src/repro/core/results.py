@@ -28,6 +28,10 @@ class RunResult:
         Every flow submitted (with final state).
     rule_count:
         Flow entries installed across all switches at the end.
+    engine_stats:
+        Engine/solver internals (solver mode, route-cache hit/miss
+        counts, rate-solve and component-solve counters) for the
+        ``repro run --json`` diagnostics block.
     link_max_utilization / link_mean_utilization:
         Per (node, port) values when link sampling was enabled.
     """
@@ -38,6 +42,7 @@ class RunResult:
     engine_summary: dict
     flows: List[Flow] = field(default_factory=list)
     rule_count: int = 0
+    engine_stats: dict = field(default_factory=dict)
     link_max_utilization: Dict[Tuple[str, int], float] = field(default_factory=dict)
     link_mean_utilization: Dict[Tuple[str, int], float] = field(default_factory=dict)
     monitor_samples: List[dict] = field(default_factory=list)

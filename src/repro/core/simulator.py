@@ -28,6 +28,7 @@ from ..flowsim.flow import Flow
 from ..net.topology import Topology
 from ..openflow.switch import attach_pipeline
 from ..pktsim.engine import PacketLevelEngine
+from ..sim.event import CallbackEvent
 from ..sim.kernel import Simulator
 from ..sim.rng import RngRegistry
 from ..stats.collector import StatsCollector
@@ -139,6 +140,57 @@ class Horse:
             )
 
         self._started = False
+        #: Horizon of the most recent :meth:`run` call (None = drain).
+        self.last_until: Optional[float] = None
+
+        if self.config.checkpoint_interval_s and self.config.checkpoint_path:
+            self._schedule_checkpoint_tick()
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self, path: Optional[str] = None) -> dict:
+        """Serialize the complete simulation state to ``path``.
+
+        Captures the kernel (clock + pending events), RNG streams,
+        topology/pipeline state, active flows, solver state, and
+        statistics; :meth:`restore` yields a run whose results are
+        bitwise-identical to one that was never interrupted.  ``path``
+        defaults to ``config.checkpoint_path``.  Returns the checkpoint
+        header (format version, digests, metadata).
+        """
+        from ..runtime.checkpoint import save_checkpoint
+
+        target = path or self.config.checkpoint_path
+        if not target:
+            raise ExperimentError(
+                "no checkpoint path given and none configured"
+            )
+        return save_checkpoint(self, target)
+
+    @staticmethod
+    def restore(path: str) -> "Horse":
+        """Load a checkpoint written by :meth:`checkpoint`, ready to
+        continue with :meth:`run`."""
+        from ..runtime.checkpoint import load_checkpoint
+
+        return load_checkpoint(path)
+
+    def _schedule_checkpoint_tick(self) -> None:
+        event = CallbackEvent(
+            self.sim.now + self.config.checkpoint_interval_s,
+            self._checkpoint_tick,
+        )
+        # Housekeeping: a pending checkpoint tick must not keep an
+        # otherwise-drained simulation running.
+        event.daemon = True
+        self.sim.schedule(event)
+
+    def _checkpoint_tick(self, sim: Simulator) -> None:
+        # Re-arm before capturing so the next tick is part of the
+        # snapshot: a restored run keeps checkpointing on cadence.
+        self._schedule_checkpoint_tick()
+        self.checkpoint()
 
     # ------------------------------------------------------------------
     # Workload
@@ -216,6 +268,9 @@ class Horse:
     def run(self, until: Optional[float] = None) -> RunResult:
         """Install policies, run to completion (or ``until``), report."""
         self.start_control_plane()
+        # Remembered so a checkpoint captured mid-run knows its horizon:
+        # a restored run continues to the same `until` by default.
+        self.last_until = until
         wall_start = _time.perf_counter()
         self.sim.run(until=until)
         if isinstance(self.engine, FlowLevelEngine):
@@ -228,6 +283,7 @@ class Horse:
             engine_summary=self.engine.summary(),
             flows=list(self.engine.flows.values()),
             rule_count=self.controller.rule_count(),
+            engine_stats=self.engine.engine_stats(),
             link_max_utilization=self.collector.max_link_utilization(),
             link_mean_utilization=self.collector.mean_link_utilization(),
             monitor_samples=list(self.monitor.samples) if self.monitor else [],

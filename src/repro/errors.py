@@ -88,3 +88,12 @@ class TrafficError(HorseError):
 
 class ExperimentError(HorseError):
     """Errors in benchmark/experiment harness configuration."""
+
+
+class CheckpointError(HorseError):
+    """A simulation snapshot could not be captured, written, read, or
+    restored (unpicklable state, corrupt file, version mismatch)."""
+
+
+class SweepError(HorseError):
+    """Errors in sweep specification, expansion, or execution."""

@@ -317,6 +317,26 @@ class FlowLevelEngine:
         out["bytes_dropped"] = sum(f.bytes_dropped for f in self.flows.values())
         return out
 
+    def engine_stats(self) -> dict:
+        """Engine/solver internals for run diagnostics.
+
+        Deterministic for a given workload (no wall-clock content), so
+        it is safe to include in byte-compared JSON reports.
+        """
+        out = {
+            "engine": "flow",
+            "solver_mode": self.solver_mode,
+            "route_cache_enabled": self._route_cache is not None,
+            "route_cache_hits": self.stats["route_cache_hits"],
+            "route_cache_misses": self.stats["route_cache_misses"],
+            "rate_solves": self.stats["rate_solves"],
+            "reroutes": self.stats["reroutes"],
+            "packet_ins": self.stats["packet_ins"],
+        }
+        if self._solver is not None:
+            out["solver"] = dict(self._solver.stats)
+        return out
+
     # ------------------------------------------------------------------
     # Accrual: lazy fluid statistics
     # ------------------------------------------------------------------

@@ -105,6 +105,12 @@ class PacketLevelEngine:
         out["bytes_dropped"] = sum(f.bytes_dropped for f in self.flows.values())
         return out
 
+    def engine_stats(self) -> dict:
+        """Engine internals for run diagnostics (deterministic)."""
+        out = {"engine": "packet"}
+        out.update(self.stats)
+        return out
+
     def queue_for(self, direction: LinkDirection) -> OutputQueue:
         """The (lazily created) output queue of a link direction."""
         queue = self._queues.get(direction)
@@ -359,7 +365,12 @@ class PacketLevelEngine:
             delay = max(2.0 * packet.accumulated_delay, transport.srtt, 1e-6)
         else:
             delay = max(2.0 * packet.accumulated_delay, 1e-6)
-        self.sim.call_in(delay, lambda s: transport.on_loss(packet))
+        self.sim.call_in(delay, self._loss_event, packet)
+
+    def _loss_event(self, sim, packet: Packet) -> None:
+        transport = self.transports.get(packet.flow_id)
+        if transport is not None:
+            transport.on_loss(packet)
 
     def _policy_drop(self, packet: Packet, kind: str) -> None:
         """Drops with no congestion signal (blackhole, miss, loops).

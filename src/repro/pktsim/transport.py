@@ -102,7 +102,7 @@ class CbrTransport(Transport):
             return
         self.engine.inject(self.flow, packet)
         interval = packet.size_bytes * 8.0 / self.flow.demand_bps
-        sim.call_in(interval, lambda s: self._send_tick(s))
+        sim.call_in(interval, self._send_tick)
 
     def on_loss(self, packet: Packet) -> None:
         self.flow.bytes_dropped += packet.size_bytes
@@ -144,9 +144,11 @@ class AimdTransport(Transport):
         # one-way delay the data packet experienced (symmetric paths,
         # ack bandwidth ignored — the standard simulation shortcut).
         self.sim.call_in(
-            max(packet.accumulated_delay, 1e-9),
-            lambda s: self.on_ack(packet),
+            max(packet.accumulated_delay, 1e-9), self._ack_event, packet
         )
+
+    def _ack_event(self, sim: Simulator, packet: Packet) -> None:
+        self.on_ack(packet)
 
     def on_ack(self, packet: Packet) -> None:
         if self.flow.finished:

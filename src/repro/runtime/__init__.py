@@ -1,0 +1,62 @@
+"""Experiment runtime: checkpoint/restore and the parallel sweep runner.
+
+The Horse evaluation plan replays a fabric "under multiple
+configurations" — the unit of work is a *sweep* of scenarios, not one
+run.  This package supplies the two pillars that make sweeps practical
+at production scale:
+
+* **Checkpoint/restore** (:mod:`.snapshot`, :mod:`.checkpoint`):
+  serialize the complete simulation state — kernel clock and pending
+  event set, RNG streams, topology state, flow/group/meter tables,
+  active flows, solver state, statistics — to a versioned on-disk
+  format.  ``Horse.checkpoint(path)`` / ``Horse.restore(path)``
+  round-trip bitwise-deterministically: a restored run produces results
+  identical to an uninterrupted one.
+* **Sweep runner** (:mod:`.sweep`, :mod:`.pool`): expand a scenario
+  template x parameter grid into jobs and execute them on a
+  crash-isolated multiprocessing pool with per-job timeouts, bounded
+  retry with exponential backoff, periodic checkpointing of long jobs,
+  resumable manifests, and deterministic aggregation of per-job results
+  into one report.
+
+:mod:`.scenario` holds the scenario-document builders shared by the CLI
+and the sweep workers.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    load_checkpoint,
+    read_checkpoint_header,
+    save_checkpoint,
+)
+from .pool import JobOutcome, run_jobs
+from .scenario import build_horse, build_traffic, reset_id_counters, run_scenario
+from .snapshot import SNAPSHOT_VERSION, SimulationSnapshot
+from .sweep import (
+    SweepJob,
+    SweepSpec,
+    aggregate_report,
+    expand_jobs,
+    resume_sweep,
+    run_sweep,
+)
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "JobOutcome",
+    "SNAPSHOT_VERSION",
+    "SimulationSnapshot",
+    "SweepJob",
+    "SweepSpec",
+    "aggregate_report",
+    "build_horse",
+    "build_traffic",
+    "expand_jobs",
+    "load_checkpoint",
+    "read_checkpoint_header",
+    "reset_id_counters",
+    "resume_sweep",
+    "run_jobs",
+    "run_sweep",
+    "save_checkpoint",
+]

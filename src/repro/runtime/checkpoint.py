@@ -1,0 +1,129 @@
+"""The versioned on-disk checkpoint format.
+
+A checkpoint file is::
+
+    HORSE-CKPT\\n                      magic line
+    {json header}\\n                   format version, digests, metadata
+    <zlib-compressed pickle payload>  the SimulationSnapshot
+
+The header is plain JSON so tooling can inspect a checkpoint (sim time,
+engine, event counts) without unpickling anything; the payload carries
+its own SHA-256 so corruption is detected before unpickling.  Writes go
+through a temp file + ``os.replace`` so a crash mid-write never leaves
+a truncated checkpoint behind — the previous one stays intact, which is
+what lets long sweep jobs checkpoint periodically and restart from the
+last good state after a worker dies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import time
+import zlib
+from typing import TYPE_CHECKING, Any, Dict
+
+from ..errors import CheckpointError
+from .snapshot import SimulationSnapshot
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.simulator import Horse
+
+MAGIC = b"HORSE-CKPT\n"
+
+#: On-disk container format version (independent of SNAPSHOT_VERSION,
+#: which versions the pickled object layout).
+CHECKPOINT_FORMAT_VERSION = 1
+
+#: Pickle protocol pinned for cross-version compatibility (3.8+).
+_PICKLE_PROTOCOL = 4
+
+
+def save_checkpoint(horse: "Horse", path: str) -> Dict[str, Any]:
+    """Capture ``horse`` and write it to ``path``; returns the header."""
+    snapshot = SimulationSnapshot.capture(horse)
+    return write_checkpoint(snapshot, path)
+
+
+def load_checkpoint(path: str) -> "Horse":
+    """Read a checkpoint and return the restored, resumable Horse."""
+    return read_checkpoint(path).resume()
+
+
+def write_checkpoint(snapshot: SimulationSnapshot, path: str) -> Dict[str, Any]:
+    """Serialize a snapshot to the versioned container at ``path``."""
+    try:
+        raw = pickle.dumps(snapshot, protocol=_PICKLE_PROTOCOL)
+    except Exception as exc:
+        raise CheckpointError(
+            "simulation state is not serializable: "
+            f"{exc}. Scheduled callbacks must be bound methods of "
+            "simulation objects (no lambdas/closures), and "
+            "process-based (generator) simulations cannot be "
+            "checkpointed."
+        ) from exc
+    payload = zlib.compress(raw, level=6)
+    header = {
+        "format": CHECKPOINT_FORMAT_VERSION,
+        "snapshot_version": snapshot.version,
+        "payload_bytes": len(payload),
+        "pickled_bytes": len(raw),
+        "payload_sha256": hashlib.sha256(payload).hexdigest(),
+        "created_unix": round(time.time(), 3),
+        "meta": dict(snapshot.meta),
+    }
+    blob = MAGIC + json.dumps(header, sort_keys=True).encode() + b"\n" + payload
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as handle:
+        handle.write(blob)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return header
+
+
+def read_checkpoint_header(path: str) -> Dict[str, Any]:
+    """Read and validate only the header (cheap inspection)."""
+    with open(path, "rb") as handle:
+        magic = handle.readline()
+        if magic != MAGIC:
+            raise CheckpointError(f"{path} is not a Horse checkpoint")
+        try:
+            header = json.loads(handle.readline().decode())
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise CheckpointError(f"{path}: corrupt checkpoint header") from exc
+    if header.get("format", 0) > CHECKPOINT_FORMAT_VERSION:
+        raise CheckpointError(
+            f"{path}: checkpoint format {header.get('format')} is newer "
+            f"than this build supports ({CHECKPOINT_FORMAT_VERSION})"
+        )
+    return header
+
+
+def read_checkpoint(path: str) -> SimulationSnapshot:
+    """Read, verify, and unpickle a checkpoint file."""
+    header = read_checkpoint_header(path)
+    with open(path, "rb") as handle:
+        handle.readline()  # magic
+        handle.readline()  # header
+        payload = handle.read()
+    if len(payload) != header["payload_bytes"]:
+        raise CheckpointError(
+            f"{path}: truncated payload "
+            f"({len(payload)} of {header['payload_bytes']} bytes)"
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header["payload_sha256"]:
+        raise CheckpointError(f"{path}: payload digest mismatch (corrupt file)")
+    try:
+        snapshot = pickle.loads(zlib.decompress(payload))
+    except Exception as exc:
+        raise CheckpointError(f"{path}: failed to restore snapshot: {exc}") from exc
+    if not isinstance(snapshot, SimulationSnapshot):
+        raise CheckpointError(
+            f"{path}: payload is {type(snapshot).__name__}, "
+            "expected SimulationSnapshot"
+        )
+    return snapshot

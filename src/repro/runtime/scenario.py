@@ -1,0 +1,163 @@
+"""Scenario documents -> runnable simulations.
+
+One JSON *scenario* describes topology, policies, traffic, engine, and
+runtime knobs — everything a run needs, so experiments are shareable
+files rather than scripts.  The builders here are shared by the ``repro
+run`` CLI and the sweep workers: both must construct byte-identical
+simulations from the same document for sweep results to be independent
+of where a job executes.
+
+Schema (the ``runtime`` section is new in this module)::
+
+    {
+      "engine": "flow" | "packet",
+      "solver": "incremental" | "full" | "vector",   # flow engine only
+      "route_cache": true,                           # flow engine only
+      "seed": 0,
+      "until": 60.0,
+      "topology": {"kind": "fat-tree", "k": 4} | ... | {"file": "topo.json"},
+      "policies": { ... },
+      "traffic":  {"kind": "matrix", ...} | {"kind": "trace", ...},
+      "runtime":  {"checkpoint_path": "run.ckpt",
+                   "checkpoint_interval_s": 5.0}
+    }
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Tuple
+
+from ..core import Horse, HorseConfig
+from ..core.results import RunResult
+from ..errors import ExperimentError
+from ..net.generators import fat_tree, leaf_spine, linear, single_switch
+from ..net.io import load_topology
+from ..control.policy.spec import parse_rate
+from ..traffic.matrix import TrafficMatrix
+
+
+def build_topology(spec: dict):
+    """Build a topology (and the IXP fabric, when applicable)."""
+    if "file" in spec:
+        return load_topology(spec["file"]), None
+    kind = spec.get("kind")
+    if kind == "fat-tree":
+        return fat_tree(spec.get("k", 4)), None
+    if kind == "leaf-spine":
+        return (
+            leaf_spine(
+                spec.get("leaves", 4),
+                spec.get("spines", 2),
+                hosts_per_leaf=spec.get("hosts_per_leaf", 2),
+            ),
+            None,
+        )
+    if kind == "linear":
+        return (
+            linear(
+                spec.get("switches", 2),
+                hosts_per_switch=spec.get("hosts_per_switch", 1),
+            ),
+            None,
+        )
+    if kind == "star":
+        return single_switch(spec.get("hosts", 4)), None
+    if kind == "ixp":
+        from ..ixp import build_ixp
+
+        fabric = build_ixp(spec.get("members", 16), seed=spec.get("seed", 0))
+        return fabric.topology, fabric
+    raise ExperimentError(f"unknown topology kind {kind!r}")
+
+
+def build_config(
+    scenario: dict, solver: Optional[str] = None
+) -> HorseConfig:
+    """A :class:`HorseConfig` from a scenario document.
+
+    ``solver`` overrides the scenario's choice (the ``repro run
+    --solver`` flag).  The scenario's ``runtime`` section supplies the
+    checkpoint knobs.
+    """
+    runtime = scenario.get("runtime", {}) or {}
+    return HorseConfig(
+        engine=scenario.get("engine", "flow"),
+        solver=solver or scenario.get("solver", "incremental"),
+        route_cache=scenario.get("route_cache", True),
+        seed=scenario.get("seed", 0),
+        link_sample_interval_s=scenario.get("link_sample_interval_s"),
+        monitor_interval_s=scenario.get("monitor_interval_s"),
+        checkpoint_path=runtime.get("checkpoint_path"),
+        checkpoint_interval_s=runtime.get("checkpoint_interval_s"),
+    )
+
+
+def build_horse(
+    scenario: dict, solver: Optional[str] = None
+) -> Tuple[Horse, object]:
+    """Build the simulation a scenario describes (traffic not submitted)."""
+    topology, fabric = build_topology(scenario.get("topology", {}))
+    config = build_config(scenario, solver=solver)
+    horse = Horse(topology, policies=scenario.get("policies") or {}, config=config)
+    return horse, fabric
+
+
+def build_traffic(spec: dict, horse: Horse, fabric) -> int:
+    """Generate and submit the scenario's traffic; returns flow count."""
+    kind = spec.get("kind", "matrix")
+    if kind == "trace":
+        from ..traffic.trace_io import load_trace
+
+        flows = load_trace(spec["file"])
+        horse.submit_flows(flows)
+        return len(flows)
+    if kind == "matrix":
+        model = spec.get("model", "uniform")
+        total = parse_rate(spec.get("total", "1 Gbps"))
+        hosts = [h.name for h in horse.topology.hosts]
+        if model == "uniform":
+            matrix = TrafficMatrix.uniform(hosts, total_bps=total)
+        elif model == "gravity-ixp":
+            if fabric is None:
+                raise ExperimentError("gravity-ixp traffic needs an ixp topology")
+            from ..traffic.ixp_trace import ixp_gravity_matrix
+
+            matrix = ixp_gravity_matrix(fabric, total_bps=total)
+        else:
+            raise ExperimentError(f"unknown matrix model {model!r}")
+        flows = horse.submit_matrix(
+            matrix,
+            horizon_s=spec.get("horizon_s", 5.0),
+            constant_rate=spec.get("constant_rate", False),
+        )
+        return len(flows)
+    raise ExperimentError(f"unknown traffic kind {kind!r}")
+
+
+def run_scenario(
+    scenario: dict, solver: Optional[str] = None
+) -> Tuple[Horse, RunResult, int]:
+    """Build, load, and run one scenario end to end."""
+    horse, fabric = build_horse(scenario, solver=solver)
+    count = build_traffic(scenario.get("traffic", {}), horse, fabric)
+    result = horse.run(until=scenario.get("until"))
+    return horse, result, count
+
+
+def reset_id_counters() -> None:
+    """Rewind the process-global id counters to their import-time state.
+
+    Sweep workers call this before building a job so ids (flow ids,
+    flow-entry sequence numbers, packet ids) depend only on the job
+    itself — never on what the process ran earlier or on fork
+    inheritance — making job results identical whether the job runs
+    serially, on any worker, or after a retry.
+    """
+    from ..flowsim import flow as flow_module
+    from ..openflow import flowtable as flowtable_module
+    from ..pktsim import packet as packet_module
+
+    flow_module._FLOW_IDS = itertools.count(1)
+    flowtable_module._ENTRY_SEQ = itertools.count()
+    packet_module._PACKET_IDS = itertools.count(1)

@@ -9,7 +9,7 @@ from .faults import FaultProfile, FaultRecord, LinkFaultInjector
 from .kernel import Simulator
 from .process import ProcessHandle, spawn
 from .queue import EventQueue, HeapEventQueue, SortedListEventQueue
-from .rng import RngRegistry
+from .rng import RngRegistry, spawn_seed
 
 __all__ = [
     "CallbackEvent",
@@ -25,4 +25,5 @@ __all__ = [
     "Simulator",
     "SortedListEventQueue",
     "spawn",
+    "spawn_seed",
 ]

@@ -136,12 +136,15 @@ class Simulator:
             if event.cancelled:
                 continue
             self._now = event.time
+            # Counted before firing so that state captured *inside* a
+            # callback (periodic checkpointing) already includes the
+            # firing event: a restored run never re-counts it.
+            self.fired_count += 1
             try:
                 event.fire(self)
             except StopIteration:
                 # A periodic callback may raise StopIteration to end its series.
                 pass
-            self.fired_count += 1
             if self.trace:
                 name = type(event).__name__
                 self.fired_by_type[name] = self.fired_by_type.get(name, 0) + 1
@@ -199,6 +202,19 @@ class Simulator:
     def drain(self, events: Iterable[Event]) -> List[Event]:
         """Schedule a batch of events and return them (convenience)."""
         return [self.schedule(e) for e in events]
+
+    def __getstate__(self) -> dict:
+        """Pickle support for checkpoint/restore.
+
+        A snapshot may be captured from inside a firing event (periodic
+        checkpointing), so the transient execution flags are normalized:
+        the restored kernel is always resumable with a fresh
+        :meth:`run` call.
+        """
+        state = dict(self.__dict__)
+        state["_running"] = False
+        state["_stopped"] = False
+        return state
 
     def reset(self) -> None:
         """Clear the event set and rewind the clock to zero."""

@@ -49,7 +49,10 @@ class StatsCollector:
 
     def enable_link_sampling(self, sim: Simulator, interval: float = 1.0) -> None:
         """Sample allocated utilization of every link periodically."""
-        sim.every(interval, lambda s, t: self.sample_links(t))
+        sim.every(interval, self._sample_tick)
+
+    def _sample_tick(self, sim: Simulator, time: float) -> None:
+        self.sample_links(time)
 
     def sample_links(self, time: float) -> None:
         """Record every direction's current allocated utilization."""

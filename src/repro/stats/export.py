@@ -90,6 +90,7 @@ def result_to_dict(result: "RunResult") -> dict:
         "events": result.events,
         "rule_count": result.rule_count,
         "engine_summary": dict(result.engine_summary),
+        "engine_stats": dict(result.engine_stats),
         "fct_summary": result.fct_summary(),
         "fairness": result.fairness(),
         "goodput_bps": result.goodput_bps(),

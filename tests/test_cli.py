@@ -137,3 +137,180 @@ class TestRunCommand:
         with open(path, "w") as handle:
             handle.write("{not json")
         assert main(["run", path]) == 1
+
+    def test_run_json_has_engine_stats(self, tmp_path):
+        path = self._scenario(tmp_path)
+        json_path = str(tmp_path / "run.json")
+        assert main(["run", path, "--json", json_path]) == 0
+        with open(json_path) as handle:
+            stats = json.load(handle)["engine_stats"]
+        assert stats["engine"] == "flow"
+        assert stats["solver_mode"] == "incremental"
+        for key in ("route_cache_hits", "route_cache_misses", "rate_solves"):
+            assert isinstance(stats[key], int)
+        assert "resolves" in stats["solver"]
+
+    def test_identical_runs_emit_identical_json(self, tmp_path):
+        """Two identical invocations must produce byte-identical run
+        documents modulo the wall-clock field."""
+        path = self._scenario(tmp_path)
+        docs = []
+        for name in ("a.json", "b.json"):
+            out = str(tmp_path / name)
+            assert main(["run", path, "--json", out]) == 0
+            with open(out) as handle:
+                doc = json.load(handle)
+            assert doc.pop("wall_time_s") > 0
+            docs.append(json.dumps(doc, sort_keys=True))
+        assert docs[0] == docs[1]
+
+    def test_full_round_trip_topo_info_run(self, tmp_path, capsys):
+        """topo -> info -> run entirely through the CLI on a temp dir."""
+        topo_path = str(tmp_path / "rt.json")
+        assert main(
+            ["topo", "--kind", "leaf-spine", "--out", topo_path]
+        ) == 0
+        assert main(["info", topo_path]) == 0
+        scenario = self._scenario(tmp_path, topology={"file": topo_path})
+        assert main(["run", scenario]) == 0
+        out = capsys.readouterr().out
+        assert "run summary" in out
+
+
+class TestCheckpointCommands:
+    def _scenario(self, tmp_path):
+        return TestRunCommand()._scenario(tmp_path, until=5.0)
+
+    def test_checkpoint_then_restore(self, tmp_path, capsys):
+        scenario = self._scenario(tmp_path)
+        ckpt = str(tmp_path / "state.ckpt")
+        assert main(
+            ["run", scenario, "--until", "1.0", "--checkpoint", ckpt]
+        ) == 0
+        assert main(
+            ["run", "--restore", ckpt, "--until", "5.0",
+             "--json", str(tmp_path / "restored.json")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "restored checkpoint" in out
+        with open(tmp_path / "restored.json") as handle:
+            doc = json.load(handle)
+        assert doc["sim_time_s"] == 5.0
+
+    def test_restored_run_matches_straight_run(self, tmp_path):
+        import pytest
+
+        scenario = self._scenario(tmp_path)
+        ckpt = str(tmp_path / "state.ckpt")
+        assert main(
+            ["run", scenario, "--until", "1.0", "--checkpoint", ckpt]
+        ) == 0
+        assert main(
+            ["run", "--restore", ckpt, "--until", "5.0",
+             "--json", str(tmp_path / "restored.json")]
+        ) == 0
+        assert main(
+            ["run", scenario, "--json", str(tmp_path / "straight.json")]
+        ) == 0
+        docs = []
+        for name in ("restored.json", "straight.json"):
+            with open(tmp_path / name) as handle:
+                doc = json.load(handle)
+            doc.pop("wall_time_s")
+            docs.append(doc)
+        restored, straight = docs
+        # The interruption splits running float sums at t=1, so the two
+        # aggregate statistics derived from them may differ in the last
+        # ulp; everything else — flows, events, counters — is exact.
+        for key in ("fairness", "goodput_bps"):
+            assert restored.pop(key) == pytest.approx(
+                straight.pop(key), rel=1e-9
+            )
+        assert json.dumps(restored, sort_keys=True) == json.dumps(
+            straight, sort_keys=True
+        )
+
+    def test_periodic_checkpoint_flag(self, tmp_path):
+        scenario = self._scenario(tmp_path)
+        ckpt = str(tmp_path / "tick.ckpt")
+        assert main(
+            ["run", scenario, "--checkpoint", ckpt,
+             "--checkpoint-interval", "1.0"]
+        ) == 0
+        from repro.runtime import read_checkpoint_header
+
+        assert read_checkpoint_header(ckpt)["meta"]["sim_time_s"] > 0
+
+    def test_scenario_and_restore_are_exclusive(self, tmp_path, capsys):
+        scenario = self._scenario(tmp_path)
+        assert main(["run", scenario, "--restore", "x.ckpt"]) == 1
+        assert "not both" in capsys.readouterr().err
+
+    def test_run_needs_scenario_or_restore(self, capsys):
+        assert main(["run"]) == 1
+        assert "required" in capsys.readouterr().err
+
+
+class TestSweepCommands:
+    def _spec(self, tmp_path, **runtime):
+        doc = {
+            "name": "cli-sweep",
+            "base": {
+                "engine": "flow",
+                "until": 2.0,
+                "topology": {"kind": "star", "hosts": 4},
+                "policies": {
+                    "forwarding": {"mode": "shortest-path", "match_on": "ip_dst"}
+                },
+                "traffic": {
+                    "kind": "matrix", "total": "50 Mbps", "horizon_s": 1.0
+                },
+            },
+            "grid": {"solver": ["incremental", "full"], "seed": [1, 2]},
+            "runtime": dict(
+                {"retries": 2, "backoff_s": 0.01, "timeout_s": 120}, **runtime
+            ),
+        }
+        path = str(tmp_path / "sweep.json")
+        with open(path, "w") as handle:
+            json.dump(doc, handle)
+        return path
+
+    def test_sweep_runs_and_reports(self, tmp_path, capsys):
+        spec = self._spec(tmp_path)
+        out = str(tmp_path / "out")
+        assert main(["sweep", spec, "--out", out, "--workers", "2"]) == 0
+        printed = capsys.readouterr().out
+        assert "4/4 jobs completed" in printed
+        with open(tmp_path / "out" / "report.json") as handle:
+            report = json.load(handle)
+        assert report["summary"]["completed"] == 4
+
+    def test_sweep_with_injected_crash_retries(self, tmp_path, capsys):
+        spec = self._spec(tmp_path, fault={"job": 0, "crashes": 1})
+        out = str(tmp_path / "out")
+        assert main(["sweep", spec, "--out", out, "--workers", "2"]) == 0
+        printed = capsys.readouterr().out
+        assert "crash" in printed and "retrying" in printed
+        with open(tmp_path / "out" / "report.json") as handle:
+            report = json.load(handle)
+        assert report["execution"]["retried"] == [0]
+        assert report["summary"]["failed"] == []
+
+    def test_sweep_failure_exit_code(self, tmp_path, capsys):
+        spec = self._spec(tmp_path, fault={"job": 0, "crashes": 99}, retries=1)
+        assert main(
+            ["sweep", spec, "--out", str(tmp_path / "out"), "--quiet"]
+        ) == 2
+        assert "failed jobs: [0]" in capsys.readouterr().err
+
+    def test_resume_command(self, tmp_path, capsys):
+        spec = self._spec(tmp_path)
+        out = str(tmp_path / "out")
+        assert main(["sweep", spec, "--out", out, "--quiet"]) == 0
+        assert main(["resume", out, "--quiet"]) == 0
+        assert "4/4 jobs completed" in capsys.readouterr().out
+
+    def test_resume_missing_dir(self, tmp_path, capsys):
+        assert main(["resume", str(tmp_path / "nope")]) == 1
+        assert "error:" in capsys.readouterr().err
