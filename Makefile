@@ -1,6 +1,6 @@
 # Convenience targets for the Horse reproduction.
 
-.PHONY: install test lint typecheck check bench bench-quick sweep-smoke examples clean
+.PHONY: install test lint typecheck check bench bench-quick telemetry-gate sweep-smoke examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -15,6 +15,7 @@ lint:
 	@command -v ruff >/dev/null 2>&1 \
 		&& ruff check src \
 		|| echo "ruff not installed; skipping (pip install -e .[dev])"
+	python tools/check_private_access.py
 
 typecheck:
 	@command -v mypy >/dev/null 2>&1 \
@@ -28,6 +29,10 @@ bench:
 
 bench-quick:
 	pytest benchmarks/bench_e1_scale_topology.py benchmarks/bench_e3_accuracy.py --benchmark-only
+
+# Disabled telemetry must cost <5% on the hot path (vs BENCH_e2.json).
+telemetry-gate:
+	python -m benchmarks.telemetry_gate
 
 # Crash-isolation smoke: a 4-job sweep on 2 workers with one injected
 # worker crash must retry the job and still complete 4/4.

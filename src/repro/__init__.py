@@ -16,6 +16,7 @@ subpackages for the full surface:
 * :mod:`repro.traffic` — matrices, generators, replay, IXP traces.
 * :mod:`repro.ixp` — members, route server, peering fabric.
 * :mod:`repro.stats` — collection and comparison metrics.
+* :mod:`repro.telemetry` — tracing, metrics registry, monitor samples.
 """
 
 from .core import Horse, HorseConfig, RunResult
@@ -24,6 +25,7 @@ from .flowsim import Flow, FlowLevelEngine, FlowState
 from .net import Host, IPv4Address, IPv4Network, MacAddress, Switch, Topology
 from .pktsim import PacketLevelEngine
 from .sim import Simulator
+from .telemetry import MetricsRegistry, MonitorSample, Telemetry, TraceBus
 from .traffic import FlowGenConfig, FlowGenerator, TrafficMatrix, TrafficReplay
 
 __version__ = "1.0.0"
@@ -41,11 +43,15 @@ __all__ = [
     "IPv4Address",
     "IPv4Network",
     "MacAddress",
+    "MetricsRegistry",
+    "MonitorSample",
     "PacketLevelEngine",
     "RunResult",
     "Simulator",
     "Switch",
+    "Telemetry",
     "Topology",
+    "TraceBus",
     "TrafficMatrix",
     "TrafficReplay",
     "__version__",

@@ -7,6 +7,9 @@ Subcommands::
     python -m repro run scenario.json --flows-csv flows.csv --json run.json
     python -m repro run scenario.json --checkpoint state.ckpt
     python -m repro run --restore state.ckpt --json run.json
+    python -m repro run scenario.json --trace run.trace.jsonl --metrics metrics.prom
+    python -m repro trace record scenario.json --out run.trace.jsonl
+    python -m repro trace summarize run.trace.jsonl
     python -m repro sweep sweep.json --out DIR --workers 4
     python -m repro resume DIR
 
@@ -48,6 +51,10 @@ def cmd_run(args: argparse.Namespace) -> int:
             )
         horse = Horse.restore(args.restore)
         print(f"restored checkpoint: {args.restore} (t={horse.sim.now:g} s)")
+        if args.trace:
+            horse.telemetry.enable_tracing(args.trace)
+        if args.profile:
+            horse.telemetry.enable_profiling()
         until = args.until if args.until is not None else horse.last_until
         result = horse.run(until=until)
     else:
@@ -55,11 +62,20 @@ def cmd_run(args: argparse.Namespace) -> int:
             raise ExperimentError("a scenario file (or --restore) is required")
         with open(args.scenario) as handle:
             scenario = json.load(handle)
+        runtime_overrides = {}
         if args.checkpoint:
-            runtime = dict(scenario.get("runtime") or {})
-            runtime["checkpoint_path"] = args.checkpoint
+            runtime_overrides["checkpoint_path"] = args.checkpoint
             if args.checkpoint_interval:
-                runtime["checkpoint_interval_s"] = args.checkpoint_interval
+                runtime_overrides["checkpoint_interval_s"] = (
+                    args.checkpoint_interval
+                )
+        if args.trace:
+            runtime_overrides["trace_path"] = args.trace
+        if args.profile:
+            runtime_overrides["profile"] = True
+        if runtime_overrides:
+            runtime = dict(scenario.get("runtime") or {})
+            runtime.update(runtime_overrides)
             scenario["runtime"] = runtime
         horse, fabric = build_horse(scenario, solver=args.solver)
         count = _build_traffic(scenario.get("traffic", {}), horse, fabric)
@@ -76,6 +92,60 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.json:
         result_to_json(result, args.json)
         print(f"wrote run document to {args.json}")
+    if args.metrics:
+        with open(args.metrics, "w") as handle:
+            handle.write(horse.telemetry.prometheus())
+        print(f"wrote metrics exposition to {args.metrics}")
+    if horse.telemetry.tracing_enabled:
+        bus = horse.telemetry.trace
+        emitted = bus.emitted
+        horse.telemetry.disable_tracing()
+        if bus.path:
+            print(f"wrote {emitted + 1} trace records to {bus.path}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Record, inspect, or summarize a structured JSONL trace."""
+    from .telemetry import read_trace, summarize_trace
+
+    if args.trace_command == "record":
+        reset_id_counters()
+        with open(args.scenario) as handle:
+            scenario = json.load(handle)
+        runtime = dict(scenario.get("runtime") or {})
+        runtime["trace_path"] = args.out
+        scenario["runtime"] = runtime
+        horse, fabric = build_horse(scenario, solver=args.solver)
+        count = _build_traffic(scenario.get("traffic", {}), horse, fabric)
+        print(f"scenario: {args.scenario} ({count} flows submitted)")
+        horse.run(until=args.until or scenario.get("until"))
+        emitted = horse.telemetry.trace.emitted
+        horse.telemetry.disable_tracing()
+        print(f"wrote {emitted + 1} trace records to {args.out}")
+        return 0
+
+    records = read_trace(args.trace_file)
+    if args.trace_command == "inspect":
+        shown = 0
+        for record in records:
+            if args.kind and record.get("kind") != args.kind:
+                continue
+            print(json.dumps(record, sort_keys=True))
+            shown += 1
+            if args.limit and shown >= args.limit:
+                break
+        return 0
+
+    # summarize
+    summary = summarize_trace(records)
+    t_range = summary["sim_time"]
+    print(f"records  : {summary['records']}")
+    if t_range["min"] is not None:
+        print(f"sim time : {t_range['min']:g} .. {t_range['max']:g} s")
+    print(f"{'kind':32s} {'count':>8s} {'wall_dur_s':>12s}")
+    for kind, entry in summary["kinds"].items():
+        print(f"{kind:32s} {entry['count']:8d} {entry['wall_dur_s']:12.6f}")
     return 0
 
 
@@ -237,7 +307,57 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="resume from a checkpoint instead of building a scenario",
     )
+    run_p.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record a structured JSONL trace of the run here",
+    )
+    run_p.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write a Prometheus-style metrics exposition here at the end",
+    )
+    run_p.add_argument(
+        "--profile",
+        action="store_true",
+        help="account per-phase wall clock (reported in engine_stats)",
+    )
     run_p.set_defaults(func=cmd_run)
+
+    trace_p = sub.add_parser(
+        "trace", help="record, inspect, or summarize a structured trace"
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+    record_p = trace_sub.add_parser(
+        "record", help="run a scenario with tracing enabled"
+    )
+    record_p.add_argument("scenario", help="scenario JSON path")
+    record_p.add_argument(
+        "--out", required=True, help="JSONL trace output path"
+    )
+    record_p.add_argument(
+        "--solver",
+        choices=["incremental", "full", "vector"],
+        help="flow-engine rate solver (overrides the scenario)",
+    )
+    record_p.add_argument(
+        "--until", type=float, help="stop at this simulated time (seconds)"
+    )
+    record_p.set_defaults(func=cmd_trace)
+    inspect_p = trace_sub.add_parser(
+        "inspect", help="print trace records as JSON lines"
+    )
+    inspect_p.add_argument("trace_file", help="JSONL trace path")
+    inspect_p.add_argument("--kind", help="only records of this kind")
+    inspect_p.add_argument(
+        "--limit", type=int, help="stop after this many records"
+    )
+    inspect_p.set_defaults(func=cmd_trace)
+    summarize_p = trace_sub.add_parser(
+        "summarize", help="aggregate counts and wall time per record kind"
+    )
+    summarize_p.add_argument("trace_file", help="JSONL trace path")
+    summarize_p.set_defaults(func=cmd_trace)
 
     sweep_p = sub.add_parser(
         "sweep", help="expand and run a parameter sweep on a worker pool"

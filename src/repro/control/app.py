@@ -39,8 +39,8 @@ class ControllerApp:
     attributed and bulk-deleted.  Subclasses set ``name``.
     """
 
-    #: Cookie space: apps get cookie = _COOKIE_BASE + registration index.
-    _COOKIE_BASE = 0x48000000  # 'H' for Horse
+    #: Cookie space: apps get cookie = COOKIE_BASE + registration index.
+    COOKIE_BASE = 0x48000000  # 'H' for Horse
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -83,8 +83,9 @@ class ControllerApp:
     def on_flow_removed(self, message: FlowRemoved) -> None:
         """Handle a flow entry removal."""
 
-    def on_monitor_sample(self, sample: dict) -> None:
-        """Handle a monitoring sample (see repro.control.monitor)."""
+    def on_monitor_sample(self, sample) -> None:
+        """Handle a :class:`~repro.telemetry.MonitorSample` (see
+        repro.control.monitor)."""
 
     # ------------------------------------------------------------------
     # Convenience accessors

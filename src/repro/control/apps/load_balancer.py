@@ -166,8 +166,8 @@ class ReactiveLoadBalancerApp(EcmpLoadBalancerApp):
         self.weight_scale = weight_scale
         self.rebalances = 0
 
-    def on_monitor_sample(self, sample: dict) -> None:
-        utilization = sample.get("utilization", {})
+    def on_monitor_sample(self, sample) -> None:
+        utilization = sample.utilization
         for (dpid, group_id), ports in list(self.group_ports.items()):
             switch = self.topology.switch_by_dpid(dpid)
             utils = [

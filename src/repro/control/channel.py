@@ -87,10 +87,22 @@ class ControlChannel:
             "packet_ins": 0,
             "packet_outs": 0,
             "stats_requests": 0,
+            "counter_pushes": 0,
             "errors": 0,
         }
+        #: Structured trace sink (:class:`repro.telemetry.TraceBus`) or
+        #: None; emission sites check ``is not None``.
+        self.trace_bus = None
+        #: Live push-mode counter subscriptions (see
+        #: :meth:`subscribe_counters`).
+        self.subscriptions: List[CounterSubscription] = []
         if controller is not None and hasattr(controller, "attach"):
             controller.attach(self)
+
+    def stats_snapshot(self) -> dict:
+        """A copy of the channel's message counters (picklable metrics
+        source for :class:`repro.telemetry.MetricsRegistry`)."""
+        return dict(self.stats)
 
     # ------------------------------------------------------------------
     # Wiring
@@ -175,11 +187,21 @@ class ControlChannel:
         if isinstance(message, TableStatsRequest):
             return self._table_stats(message)
         if isinstance(message, BarrierRequest):
+            if self.trace_bus is not None:
+                self.trace_bus.emit("channel.barrier", dpid=message.dpid)
             return BarrierReply(dpid=message.dpid, xid=message.xid)
         raise ControlPlaneError(f"unsupported southbound message {message!r}")
 
     def _apply_flow_mod(self, mod: FlowMod) -> None:
         self.stats["flow_mods"] += 1
+        if self.trace_bus is not None:
+            self.trace_bus.emit(
+                "channel.flow_mod",
+                dpid=mod.dpid,
+                command=mod.command.name,
+                table=mod.table_id,
+                priority=mod.priority,
+            )
         pipeline = self._pipeline(mod.dpid)
         table = pipeline.table(mod.table_id)
         if mod.command is FlowModCommand.ADD:
@@ -219,6 +241,10 @@ class ControlChannel:
 
     def _apply_group_mod(self, mod: GroupMod) -> None:
         self.stats["group_mods"] += 1
+        if self.trace_bus is not None:
+            self.trace_bus.emit(
+                "channel.group_mod", dpid=mod.dpid, command=mod.command.name
+            )
         pipeline = self._pipeline(mod.dpid)
         if mod.command is GroupModCommand.ADD:
             pipeline.groups.add(mod.group_id, mod.group_type, mod.buckets)
@@ -230,6 +256,10 @@ class ControlChannel:
 
     def _apply_meter_mod(self, mod: MeterMod) -> None:
         self.stats["meter_mods"] += 1
+        if self.trace_bus is not None:
+            self.trace_bus.emit(
+                "channel.meter_mod", dpid=mod.dpid, command=mod.command.name
+            )
         pipeline = self._pipeline(mod.dpid)
         if mod.command is MeterModCommand.ADD:
             pipeline.meters.add(mod.meter_id, mod.bands)
@@ -256,6 +286,10 @@ class ControlChannel:
 
     def _port_stats(self, request: PortStatsRequest) -> PortStatsReply:
         self.stats["stats_requests"] += 1
+        if self.trace_bus is not None:
+            self.trace_bus.emit(
+                "channel.stats", kind="port", dpid=request.dpid
+            )
         self._sync_engines()
         switch = self.topology.switch_by_dpid(request.dpid)
         stats = [
@@ -267,6 +301,10 @@ class ControlChannel:
 
     def _flow_stats(self, request: FlowStatsRequest) -> FlowStatsReply:
         self.stats["stats_requests"] += 1
+        if self.trace_bus is not None:
+            self.trace_bus.emit(
+                "channel.stats", kind="flow", dpid=request.dpid
+            )
         self._sync_engines()
         pipeline = self._pipeline(request.dpid)
         tables = (
@@ -298,12 +336,97 @@ class ControlChannel:
 
     def _table_stats(self, request: TableStatsRequest) -> TableStatsReply:
         self.stats["stats_requests"] += 1
+        if self.trace_bus is not None:
+            self.trace_bus.emit(
+                "channel.stats", kind="table", dpid=request.dpid
+            )
         pipeline = self._pipeline(request.dpid)
         return TableStatsReply(
             dpid=request.dpid,
             xid=request.xid,
             stats=[t.stats() for t in pipeline.tables],
         )
+
+    # ------------------------------------------------------------------
+    # Public statistics API
+    # ------------------------------------------------------------------
+    def port_stats(
+        self, dpid: int, port_no: Optional[int] = None
+    ) -> PortStatsReply:
+        """Synchronously read a switch's port counters.
+
+        This is the supported query surface (the message-level replier is
+        an implementation detail): engines are synced first, so counters
+        reflect all traffic up to ``sim.now``.
+        """
+        return self._port_stats(PortStatsRequest(dpid=dpid, port_no=port_no))
+
+    def flow_stats(
+        self,
+        dpid: int,
+        table_id: Optional[int] = None,
+        match=None,
+        cookie: Optional[int] = None,
+    ) -> FlowStatsReply:
+        """Synchronously read a switch's flow-entry counters, optionally
+        filtered by table, match, or cookie."""
+        return self._flow_stats(
+            FlowStatsRequest(
+                dpid=dpid, table_id=table_id, match=match, cookie=cookie
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Push-based monitoring: threshold/delta-triggered counter feeds
+    # ------------------------------------------------------------------
+    def subscribe_counters(
+        self,
+        callback,
+        interval_s: float,
+        dpids: Optional[List[int]] = None,
+        min_delta_bytes: float = 0.0,
+        start: Optional[float] = None,
+    ) -> "CounterSubscription":
+        """Register a push-mode port-counter feed.
+
+        Every ``interval_s`` the channel samples port counters on
+        ``dpids`` (default: every datapath, in topology order) and calls
+        ``callback(t, replies)`` with one :class:`PortStatsReply` per
+        datapath.  With ``min_delta_bytes`` > 0, a push is suppressed
+        unless some port's tx or rx counter moved at least that much
+        since the *last delivered* push (the first sample is always
+        delivered so subscribers can baseline).  Cancel with
+        :meth:`CounterSubscription.cancel`.
+        """
+        if interval_s <= 0:
+            raise ControlPlaneError(
+                f"subscription interval must be > 0, got {interval_s}"
+            )
+        if dpids is None:
+            dpids = [s.dpid for s in self.topology.switches]
+        subscription = CounterSubscription(
+            self, callback, interval_s, list(dpids), min_delta_bytes
+        )
+        self.subscriptions.append(subscription)
+        self.sim.every(interval_s, subscription.tick, start=start)
+        return subscription
+
+    def push_counters(self, subscription: "CounterSubscription", t: float) -> None:
+        """Sample one subscription's datapaths and deliver if triggered."""
+        replies = [
+            self._port_stats(PortStatsRequest(dpid=dpid))
+            for dpid in subscription.dpids
+        ]
+        if not subscription.triggered(replies):
+            return
+        self.stats["counter_pushes"] += 1
+        if self.trace_bus is not None:
+            self.trace_bus.emit(
+                "channel.counter_push",
+                datapaths=len(replies),
+                min_delta_bytes=subscription.min_delta_bytes,
+            )
+        subscription.callback(t, replies)
 
     # ------------------------------------------------------------------
     # Northbound: switches/engines -> controller
@@ -388,3 +511,67 @@ class ControlChannel:
 
     def _async_flow_removed(self, sim: Simulator, message: FlowRemoved) -> None:
         self.controller.on_flow_removed(message)
+
+
+class CounterSubscription:
+    """One push-mode counter feed (see ControlChannel.subscribe_counters).
+
+    Holds the delta baseline used for ``min_delta_bytes`` triggering: the
+    per-port (tx_bytes, rx_bytes) as of the last *delivered* push, so
+    suppressed samples accumulate toward the threshold instead of
+    resetting it.  All scheduled callbacks are bound methods, so a live
+    subscription survives checkpoint/restore pickling.
+    """
+
+    def __init__(
+        self,
+        channel: ControlChannel,
+        callback,
+        interval_s: float,
+        dpids: List[int],
+        min_delta_bytes: float,
+    ) -> None:
+        self.channel = channel
+        self.callback = callback
+        self.interval_s = interval_s
+        self.dpids = dpids
+        self.min_delta_bytes = min_delta_bytes
+        self.active = True
+        self.pushes = 0
+        # (dpid, port_no) -> (tx_bytes, rx_bytes) at the last delivery.
+        self._last: dict = {}
+
+    def cancel(self) -> None:
+        """Stop the feed (takes effect at the next scheduled tick)."""
+        self.active = False
+
+    def tick(self, sim, t: float) -> None:
+        """Periodic-event callback; ends its series once cancelled."""
+        if not self.active:
+            if self in self.channel.subscriptions:
+                self.channel.subscriptions.remove(self)
+            raise StopIteration
+        self.channel.push_counters(self, t)
+
+    def triggered(self, replies) -> bool:
+        """Decide delivery and, if delivering, advance the baseline."""
+        current = {
+            (reply.dpid, stat["port_no"]): (stat["tx_bytes"], stat["rx_bytes"])
+            for reply in replies
+            for stat in reply.stats
+        }
+        deliver = (
+            not self._last
+            or self.min_delta_bytes <= 0
+            or any(
+                abs(counters[0] - self._last.get(key, (0, 0))[0])
+                >= self.min_delta_bytes
+                or abs(counters[1] - self._last.get(key, (0, 0))[1])
+                >= self.min_delta_bytes
+                for key, counters in current.items()
+            )
+        )
+        if deliver:
+            self._last = current
+            self.pushes += 1
+        return deliver

@@ -63,7 +63,7 @@ class Controller:
         if any(existing.name == app.name for existing in self.apps):
             raise ControlPlaneError(f"duplicate app name {app.name!r}")
         app.controller = self
-        app.cookie = ControllerApp._COOKIE_BASE + len(self.apps) + 1
+        app.cookie = ControllerApp.COOKIE_BASE + len(self.apps) + 1
         self.apps.append(app)
         if self._started and self.channel is not None:
             app.start()
@@ -116,7 +116,7 @@ class Controller:
             if app.enabled:
                 app.on_flow_removed(message)
 
-    def on_monitor_sample(self, sample: dict) -> None:
+    def on_monitor_sample(self, sample) -> None:
         for app in self.apps:
             if app.enabled:
                 app.on_monitor_sample(sample)

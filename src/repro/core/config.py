@@ -23,7 +23,14 @@ class HorseConfig:
         One-way control channel delay; 0 means the poster's synchronous
         abstraction.
     monitor_interval_s:
-        Port-stats polling period; None disables monitoring.
+        Port-stats sampling period; None disables monitoring.
+    monitor_mode:
+        ``"poll"`` (the monitor reads counters itself, default) or
+        ``"push"`` (the channel pushes counter samples to a
+        subscription; see docs/observability.md).
+    monitor_push_min_delta_bytes:
+        Push mode only: suppress a push unless some port counter moved
+        at least this much since the last delivered push.
     link_sample_interval_s:
         Utilization sampling period for the stats collector; None
         disables sampling.
@@ -47,6 +54,13 @@ class HorseConfig:
     entry_expiry_interval_s:
         Flow engine: period of the rule-timeout sweep; None disables it
         (enable when policies use idle/hard timeouts).
+    trace_path:
+        When set, structured tracing is enabled for the whole run and
+        records are appended (JSONL) to this path.
+    profile:
+        Enable per-phase wall-clock profiling; the phase breakdown is
+        reported under ``engine_stats["profile"]`` (wall-clock content —
+        leave off for byte-compared reports).
     checkpoint_path / checkpoint_interval_s:
         When both are set, the run checkpoints its complete state to
         ``checkpoint_path`` every ``checkpoint_interval_s`` simulated
@@ -60,6 +74,8 @@ class HorseConfig:
     control_latency_s: float = 0.0
     monitor_interval_s: Optional[float] = None
     monitor_threshold: float = 0.9
+    monitor_mode: str = "poll"
+    monitor_push_min_delta_bytes: float = 0.0
     link_sample_interval_s: Optional[float] = None
     solver: str = "incremental"
     route_cache: bool = True
@@ -71,6 +87,8 @@ class HorseConfig:
     entry_expiry_interval_s: Optional[float] = None
     mean_packet_bytes: int = 1000
     max_hops: int = 64
+    trace_path: Optional[str] = None
+    profile: bool = False
     checkpoint_path: Optional[str] = None
     checkpoint_interval_s: Optional[float] = None
 
@@ -84,6 +102,12 @@ class HorseConfig:
                 "solver must be 'incremental', 'full', or 'vector', "
                 f"got {self.solver!r}"
             )
+        if self.monitor_mode not in ("poll", "push"):
+            raise ExperimentError(
+                f"monitor_mode must be 'poll' or 'push', got {self.monitor_mode!r}"
+            )
+        if self.monitor_push_min_delta_bytes < 0:
+            raise ExperimentError("monitor_push_min_delta_bytes must be >= 0")
         if self.control_latency_s < 0:
             raise ExperimentError("control latency must be >= 0")
         if self.pipeline_tables < 1:

@@ -34,6 +34,13 @@ class RunResult:
         ``repro run --json`` diagnostics block.
     link_max_utilization / link_mean_utilization:
         Per (node, port) values when link sampling was enabled.
+    monitor_samples:
+        The monitor's :class:`~repro.telemetry.MonitorSample` history
+        (empty when monitoring was disabled or history retention off).
+    metrics:
+        The telemetry registry snapshot at the end of the run — every
+        owned metric and pull source flattened to dotted names (see
+        :class:`repro.telemetry.MetricsRegistry`).
     """
 
     wall_time_s: float
@@ -45,7 +52,8 @@ class RunResult:
     engine_stats: dict = field(default_factory=dict)
     link_max_utilization: Dict[Tuple[str, int], float] = field(default_factory=dict)
     link_mean_utilization: Dict[Tuple[str, int], float] = field(default_factory=dict)
-    monitor_samples: List[dict] = field(default_factory=list)
+    monitor_samples: list = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
 
     # ------------------------------------------------------------------

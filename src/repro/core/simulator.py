@@ -31,7 +31,8 @@ from ..pktsim.engine import PacketLevelEngine
 from ..sim.event import CallbackEvent
 from ..sim.kernel import Simulator
 from ..sim.rng import RngRegistry
-from ..stats.collector import StatsCollector
+from ..stats.collector import RunStatsCollector
+from ..telemetry import Telemetry
 from ..traffic.flowgen import FlowGenConfig, FlowGenerator
 from ..traffic.matrix import TrafficMatrix
 from .config import HorseConfig
@@ -122,16 +123,24 @@ class Horse:
                 max_hops=self.config.max_hops,
             )
 
-        self.monitor: Optional[NetworkMonitor] = None
-        if self.config.monitor_interval_s:
-            self.monitor = NetworkMonitor(
-                self.channel,
-                interval=self.config.monitor_interval_s,
-                threshold=self.config.monitor_threshold,
-            )
-            self.monitor.start()
+        #: Unified observation surface: metrics registry + trace/profile
+        #: control over the kernel, engine, and channel.
+        self.telemetry = Telemetry(self.sim)
+        self.telemetry.bind(self.sim, self.engine, self.channel)
+        registry = self.telemetry.registry
+        registry.register_source("sim", self.sim.stats_snapshot)
+        registry.register_source("engine", self.engine.engine_stats)
+        registry.register_source("channel", self.channel.stats_snapshot)
+        if self.config.profile:
+            self.telemetry.enable_profiling()
+        if self.config.trace_path:
+            self.telemetry.enable_tracing(self.config.trace_path)
 
-        self.collector = StatsCollector(topology)
+        self._monitor: Optional[NetworkMonitor] = None
+        if self.config.monitor_interval_s:
+            self._make_monitor(self.config.monitor_interval_s)
+
+        self.collector = RunStatsCollector(topology)
         if isinstance(self.engine, FlowLevelEngine):
             self.collector.attach_flow_engine(self.engine)
         if self.config.link_sample_interval_s:
@@ -145,6 +154,35 @@ class Horse:
 
         if self.config.checkpoint_interval_s and self.config.checkpoint_path:
             self._schedule_checkpoint_tick()
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def _make_monitor(self, interval: float) -> NetworkMonitor:
+        self._monitor = NetworkMonitor(
+            self.channel,
+            interval=interval,
+            threshold=self.config.monitor_threshold,
+            mode=self.config.monitor_mode,
+            min_delta_bytes=self.config.monitor_push_min_delta_bytes,
+        )
+        self._monitor.start()
+        self.telemetry.registry.register_source(
+            "monitor", self._monitor.metrics_snapshot
+        )
+        return self._monitor
+
+    def monitor(self) -> NetworkMonitor:
+        """The run's :class:`NetworkMonitor`.
+
+        Returns the monitor configured via ``monitor_interval_s``; when
+        monitoring was not configured, one is created (and started) on
+        first call with a 1-second interval and the configured mode, so
+        reactive apps can always be handed a live sample stream.
+        """
+        if self._monitor is None:
+            self._make_monitor(self.config.monitor_interval_s or 1.0)
+        return self._monitor
 
     # ------------------------------------------------------------------
     # Checkpoint / restore
@@ -286,7 +324,8 @@ class Horse:
             engine_stats=self.engine.engine_stats(),
             link_max_utilization=self.collector.max_link_utilization(),
             link_mean_utilization=self.collector.mean_link_utilization(),
-            monitor_samples=list(self.monitor.samples) if self.monitor else [],
+            monitor_samples=list(self._monitor.samples) if self._monitor else [],
+            metrics=self.telemetry.snapshot(),
             notes=list(self.compiled.notes) if self.compiled else [],
         )
         return result

@@ -97,3 +97,8 @@ class CheckpointError(HorseError):
 
 class SweepError(HorseError):
     """Errors in sweep specification, expansion, or execution."""
+
+
+class TelemetryError(HorseError):
+    """Errors in the telemetry subsystem (metric registration or type
+    mismatches, trace sink configuration, subscription parameters)."""

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import dataclasses
 import logging
+import time as _time
 from collections import deque
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
@@ -219,6 +220,13 @@ class FlowLevelEngine:
         #: Observers: callables ``(event_name, flow)`` for 'arrival',
         #: 'delivered', 'undelivered', 'completed', 'ended', 'rerouted'.
         self.observers: List[Callable[[str, Flow], None]] = []
+        # Telemetry (off by default; see repro.telemetry).  The bus is
+        # held privately and exposed through the ``trace_bus`` property
+        # so assignment also reaches the owned solver.
+        self._trace_bus = None
+        #: Per-phase profiler or None; the engine charges "solve" and
+        #: "route" (both inside the kernel's inclusive "dispatch").
+        self.profiler = None
         # Aggregate statistics.
         self.stats = {
             "arrivals": 0,
@@ -232,6 +240,21 @@ class FlowLevelEngine:
             "route_cache_hits": 0,
             "route_cache_misses": 0,
         }
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    @property
+    def trace_bus(self):
+        """Structured trace sink (or None); assignment propagates to the
+        owned incremental solver so no caller has to reach inside."""
+        return self._trace_bus
+
+    @trace_bus.setter
+    def trace_bus(self, bus) -> None:
+        self._trace_bus = bus
+        if self._solver is not None:
+            self._solver.trace_bus = bus
 
     # ------------------------------------------------------------------
     # Public API
@@ -256,7 +279,7 @@ class FlowLevelEngine:
     def stop_flow(self, flow: Flow) -> None:
         """Terminate a continuous flow immediately."""
         if flow.state is FlowState.ACTIVE or flow.state is FlowState.BLOCKED:
-            self._on_end(flow)
+            self.on_end(flow)
 
     def fail_link_at(self, time: float, a: str, b: str) -> None:
         """Schedule a link failure input event."""
@@ -335,6 +358,10 @@ class FlowLevelEngine:
         }
         if self._solver is not None:
             out["solver"] = dict(self._solver.stats)
+        if self.profiler is not None:
+            # Wall-clock content: only present when profiling was
+            # explicitly enabled, so default reports stay deterministic.
+            out["profile"] = self.profiler.snapshot()
         return out
 
     # ------------------------------------------------------------------
@@ -383,9 +410,10 @@ class FlowLevelEngine:
             return None
 
     # ------------------------------------------------------------------
-    # Event handlers (called by events.py)
+    # Event handlers (public: events.py and the fault injector
+    # drive the engine through these)
     # ------------------------------------------------------------------
-    def _on_arrival(self, flow: Flow) -> None:
+    def on_arrival(self, flow: Flow) -> None:
         now = self.sim.now
         self.stats["arrivals"] += 1
         self._accrued[flow.flow_id] = now
@@ -395,7 +423,7 @@ class FlowLevelEngine:
         self._notify("arrival", flow)
         self._recompute({flow.flow_id})
 
-    def _on_completion(self, flow: Flow) -> None:
+    def on_completion(self, flow: Flow) -> None:
         now = self.sim.now
         if flow.state is not FlowState.ACTIVE or flow.size_bytes is None:
             return
@@ -413,7 +441,7 @@ class FlowLevelEngine:
         self._notify("completed", flow)
         self._recompute({flow.flow_id})
 
-    def _on_end(self, flow: Flow) -> None:
+    def on_end(self, flow: Flow) -> None:
         if flow.finished:
             return
         self._accrue_flow(flow, self.sim.now)
@@ -442,7 +470,7 @@ class FlowLevelEngine:
             self._arr_rate[slot] = 0.0
             self._free_slots.append(slot)
 
-    def _on_link_state(self, a: str, b: str, up: bool) -> None:
+    def on_link_state(self, a: str, b: str, up: bool) -> None:
         if up:
             link = self.topology.restore_link(a, b)
         else:
@@ -483,7 +511,7 @@ class FlowLevelEngine:
         self._reroute_flows(affected)
         self._recompute(affected)
 
-    def _on_reroute_sweep(self) -> None:
+    def on_reroute_sweep(self) -> None:
         self._reroute_pending = False
         dirty = self._dirty_dpids
         self._dirty_dpids = set()
@@ -524,6 +552,17 @@ class FlowLevelEngine:
     # ------------------------------------------------------------------
     def _route(self, flow: Flow) -> None:
         """(Re)walk a flow through the data plane and update its state."""
+        profiler = self.profiler
+        if profiler is None:
+            self._route_inner(flow)
+            return
+        _t0 = _time.perf_counter()
+        try:
+            self._route_inner(flow)
+        finally:
+            profiler.add("route", _time.perf_counter() - _t0)
+
+    def _route_inner(self, flow: Flow) -> None:
         # Charge traffic at the old rate/route before it changes.
         self._accrue_flow(flow, self.sim.now)
         route: Optional[FlowRoute] = None
@@ -641,9 +680,13 @@ class FlowLevelEngine:
                 for dpid, version in deps
             ):
                 self.stats["route_cache_hits"] += 1
+                if self._trace_bus is not None:
+                    self._trace_bus.emit("engine.route_cache", hit=True)
                 return self._clone_route(route)
             del cache[key]
         self.stats["route_cache_misses"] += 1
+        if self._trace_bus is not None:
+            self._trace_bus.emit("engine.route_cache", hit=False)
         return None
 
     def _route_cache_store(
@@ -957,7 +1000,7 @@ class FlowLevelEngine:
         expanded: List[int] = []
         for number in ports:
             if number == PORT_FLOOD:
-                expanded.extend(node.pipeline._flood_ports(in_port))
+                expanded.extend(node.pipeline.flood_ports(in_port))
             else:
                 expanded.append(number)
         return expanded
@@ -1012,6 +1055,17 @@ class FlowLevelEngine:
 
     def _recompute(self, changed: Set[int]) -> None:
         """Re-solve max-min rates and reproject completions."""
+        profiler = self.profiler
+        if profiler is None:
+            self._recompute_inner(changed)
+            return
+        _t0 = _time.perf_counter()
+        try:
+            self._recompute_inner(changed)
+        finally:
+            profiler.add("solve", _time.perf_counter() - _t0)
+
+    def _recompute_inner(self, changed: Set[int]) -> None:
         self.stats["rate_solves"] += 1
         now = self.sim.now
         if self._solver is not None:
@@ -1161,5 +1215,13 @@ class FlowLevelEngine:
             event.cancel()
 
     def _notify(self, name: str, flow: Flow) -> None:
+        if self._trace_bus is not None:
+            self._trace_bus.emit(
+                f"flow.{name}",
+                flow=flow.flow_id,
+                src=flow.src,
+                dst=flow.dst,
+                rate_bps=flow.rate_bps,
+            )
         for observer in self.observers:
             observer(name, flow)

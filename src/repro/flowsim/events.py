@@ -34,7 +34,7 @@ class FlowArrival(Event):
         self.flow = flow
 
     def fire(self, sim) -> None:
-        self.engine._on_arrival(self.flow)
+        self.engine.on_arrival(self.flow)
 
 
 class FlowCompletion(Event):
@@ -49,7 +49,7 @@ class FlowCompletion(Event):
         self.flow = flow
 
     def fire(self, sim) -> None:
-        self.engine._on_completion(self.flow)
+        self.engine.on_completion(self.flow)
 
 
 class FlowEnd(Event):
@@ -63,7 +63,7 @@ class FlowEnd(Event):
         self.flow = flow
 
     def fire(self, sim) -> None:
-        self.engine._on_end(self.flow)
+        self.engine.on_end(self.flow)
 
 
 class LinkFailure(Event):
@@ -80,7 +80,7 @@ class LinkFailure(Event):
         self.node_b = node_b
 
     def fire(self, sim) -> None:
-        self.engine._on_link_state(self.node_a, self.node_b, up=False)
+        self.engine.on_link_state(self.node_a, self.node_b, up=False)
 
 
 class LinkRecovery(Event):
@@ -97,7 +97,7 @@ class LinkRecovery(Event):
         self.node_b = node_b
 
     def fire(self, sim) -> None:
-        self.engine._on_link_state(self.node_a, self.node_b, up=True)
+        self.engine.on_link_state(self.node_a, self.node_b, up=True)
 
 
 class RerouteSweep(Event):
@@ -110,4 +110,4 @@ class RerouteSweep(Event):
         self.engine = engine
 
     def fire(self, sim) -> None:
-        self.engine._on_reroute_sweep()
+        self.engine.on_reroute_sweep()

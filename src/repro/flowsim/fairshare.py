@@ -500,6 +500,9 @@ class IncrementalSolver:
             "flows_resolved": 0,
             "rebuilds": 0,
         }
+        #: Structured trace sink (:class:`repro.telemetry.TraceBus`) or
+        #: None; emission sites check ``is not None``.
+        self.trace_bus = None
 
     # ------------------------------------------------------------------
     # Union-find over links
@@ -587,7 +590,9 @@ class IncrementalSolver:
         self._dirty_links.add(link)
 
     def reset(self) -> None:
+        bus = self.trace_bus
         self.__init__()
+        self.trace_bus = bus
 
     # ------------------------------------------------------------------
     # Resolution
@@ -655,6 +660,16 @@ class IncrementalSolver:
         self.last_scope = len(result)
         self.last_touched_links = touched
         self.stats["flows_resolved"] += len(result)
+        if self.trace_bus is not None:
+            # Components not in `ordered` kept their cached rates — the
+            # incremental solver's cache hits.
+            self.trace_bus.emit(
+                "solver.resolve",
+                full=full,
+                components_solved=len(ordered),
+                components_cached=max(0, len(self._members) - len(ordered)),
+                flows=len(result),
+            )
         return result
 
     def _rebuild(self) -> None:

@@ -20,6 +20,20 @@ from ..openflow.headers import HeaderFields
 _FLOW_IDS = itertools.count(1)
 
 
+def reset_flow_ids() -> None:
+    """Rewind the process-global flow-id counter to its import-time
+    state (sweep workers isolate jobs this way)."""
+    global _FLOW_IDS
+    _FLOW_IDS = itertools.count(1)
+
+
+def advance_flow_ids(minimum: int) -> None:
+    """Ensure future flow ids are > ``minimum`` (checkpoint restore
+    advances past the snapshot's watermark)."""
+    global _FLOW_IDS
+    _FLOW_IDS = itertools.count(max(next(_FLOW_IDS), minimum + 1))
+
+
 class FlowState(Enum):
     """Lifecycle of a flow inside the flow-level engine."""
 

@@ -76,22 +76,23 @@ class RouteServer:
 
     def withdraw(self, asn: int) -> None:
         """Close a member's session (prefixes withdrawn)."""
-        self._require(asn)
+        self.require_member(asn)
         del self._members[asn]
         del self._announcements[asn]
         del self._policies[asn]
 
     def announce(self, asn: int, prefix: IPv4Network) -> None:
         """Announce one extra prefix for a member."""
-        self._require(asn)
+        self.require_member(asn)
         if prefix not in self._announcements[asn]:
             self._announcements[asn].append(prefix)
 
     def set_export_policy(self, asn: int, policy: ExportPolicy) -> None:
-        self._require(asn)
+        self.require_member(asn)
         self._policies[asn] = policy
 
-    def _require(self, asn: int) -> Member:
+    def require_member(self, asn: int) -> Member:
+        """The registered member for ``asn`` (raises on unknown ASN)."""
         if asn not in self._members:
             raise ControlPlaneError(f"unknown member AS{asn}")
         return self._members[asn]
@@ -107,8 +108,8 @@ class RouteServer:
         """May traffic flow src→dst? (dst must export routes to src.)"""
         if src_asn == dst_asn:
             return False
-        self._require(src_asn)
-        self._require(dst_asn)
+        self.require_member(src_asn)
+        self.require_member(dst_asn)
         return self._policies[dst_asn].exports_to(src_asn)
 
     def peering_matrix(self) -> Dict[Tuple[str, str], bool]:
@@ -125,7 +126,7 @@ class RouteServer:
 
     def rib_for(self, asn: int) -> List[Tuple[IPv4Network, int]]:
         """The (prefix, origin ASN) routes visible to one member."""
-        self._require(asn)
+        self.require_member(asn)
         routes: List[Tuple[IPv4Network, int]] = []
         for origin, prefixes in sorted(self._announcements.items()):
             if origin == asn:

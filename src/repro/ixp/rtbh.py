@@ -81,7 +81,7 @@ class RtbhCoordinator:
         self.log.append(("withdraw", request))
 
     def _validate_origin(self, asn: int, prefix: IPv4Network) -> None:
-        member = self.route_server._require(asn)
+        member = self.route_server.require_member(asn)
         covered = any(
             own.prefix_len <= prefix.prefix_len and own.contains(prefix.network)
             for own in member.prefixes

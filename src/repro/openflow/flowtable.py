@@ -21,6 +21,20 @@ from .match import Match
 _ENTRY_SEQ = itertools.count()
 
 
+def reset_entry_seq() -> None:
+    """Rewind the process-global entry-sequence counter to its
+    import-time state (sweep workers isolate jobs this way)."""
+    global _ENTRY_SEQ
+    _ENTRY_SEQ = itertools.count()
+
+
+def advance_entry_seq(minimum: int) -> None:
+    """Ensure future entry sequence numbers are > ``minimum``
+    (checkpoint restore advances past the snapshot's watermark)."""
+    global _ENTRY_SEQ
+    _ENTRY_SEQ = itertools.count(max(next(_ENTRY_SEQ), minimum + 1))
+
+
 @dataclass
 class FlowEntry:
     """One rule: a match, a priority, and instructions, plus counters.
@@ -68,6 +82,11 @@ class FlowEntry:
         if self.idle_timeout > 0 and now >= self.last_used + self.idle_timeout:
             return "idle"
         return None
+
+    @property
+    def seq(self) -> int:
+        """Process-global insertion sequence number (tie-break order)."""
+        return self._seq
 
     @property
     def sort_key(self) -> Tuple[int, int]:

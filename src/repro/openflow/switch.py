@@ -159,7 +159,7 @@ class OpenFlowPipeline:
             if isinstance(action, Output):
                 self._emit(action.port, in_port, result)
             elif isinstance(action, Flood):
-                for number in self._flood_ports(in_port):
+                for number in self.flood_ports(in_port):
                     result.out_ports.append(number)
             elif isinstance(action, Drop):
                 result.dropped = True
@@ -189,7 +189,11 @@ class OpenFlowPipeline:
             return
         result.out_ports.append(port)
 
-    def _flood_ports(self, in_port: int) -> List[int]:
+    def flood_ports(self, in_port: int) -> List[int]:
+        """Live egress ports a FLOOD from ``in_port`` replicates to
+        (every up, connected port except the ingress), in port order.
+        Engines use this to expand reserved port numbers in packet-outs.
+        """
         return [
             number
             for number, port in sorted(self.switch.ports.items())

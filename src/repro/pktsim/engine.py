@@ -67,6 +67,11 @@ class PacketLevelEngine:
         # Packets parked at a switch awaiting an asynchronous packet-out,
         # keyed by (dpid, in_port, flow_id); bounded per key.
         self._buffered: Dict[tuple, deque] = {}
+        #: Structured trace sink (:class:`repro.telemetry.TraceBus`) or
+        #: None; per-packet emission sites check ``is not None``.
+        self.trace_bus = None
+        #: Per-phase profiler or None (the kernel charges "dispatch").
+        self.profiler = None
         self.stats = {
             "packets_sent": 0,
             "packets_delivered": 0,
@@ -109,6 +114,10 @@ class PacketLevelEngine:
         """Engine internals for run diagnostics (deterministic)."""
         out = {"engine": "packet"}
         out.update(self.stats)
+        if self.profiler is not None:
+            # Wall-clock content: only present when profiling was
+            # explicitly enabled, so default reports stay deterministic.
+            out["profile"] = self.profiler.snapshot()
         return out
 
     def queue_for(self, direction: LinkDirection) -> OutputQueue:
@@ -150,6 +159,13 @@ class PacketLevelEngine:
     def inject(self, flow: Flow, packet: Packet) -> None:
         """Called by transports: put a fresh packet on the host uplink."""
         self.stats["packets_sent"] += 1
+        if self.trace_bus is not None:
+            self.trace_bus.emit(
+                "packet.enqueue",
+                packet=packet.packet_id,
+                flow=packet.flow_id,
+                size=packet.size_bytes,
+            )
         flow.bytes_sent += packet.size_bytes
         host = self.topology.host(flow.src)
         uplink = host.uplink_port
@@ -226,6 +242,13 @@ class PacketLevelEngine:
             meter = pipeline.meters.get(meter_id)
             if not meter.admit_packet(packet.size_bytes, self.sim.now):
                 self.stats["drops_meter"] += 1
+                if self.trace_bus is not None:
+                    self.trace_bus.emit(
+                        "packet.drop",
+                        reason="meter",
+                        packet=packet.packet_id,
+                        flow=packet.flow_id,
+                    )
                 self._loss_feedback(packet)
                 return
         headers_after = result.headers or packet.headers
@@ -258,7 +281,7 @@ class PacketLevelEngine:
         expanded: List[int] = []
         for number in ports:
             if number == PORT_FLOOD:
-                expanded.extend(switch.pipeline._flood_ports(in_port))
+                expanded.extend(switch.pipeline.flood_ports(in_port))
             else:
                 expanded.append(number)
         return expanded
@@ -354,6 +377,14 @@ class PacketLevelEngine:
 
     def _on_congestion_drop(self, packet: Packet, direction: LinkDirection) -> None:
         self.stats["drops_congestion"] += 1
+        if self.trace_bus is not None:
+            self.trace_bus.emit(
+                "packet.drop",
+                reason="congestion",
+                packet=packet.packet_id,
+                flow=packet.flow_id,
+                link=str(direction),
+            )
         self._loss_feedback(packet)
 
     def _loss_feedback(self, packet: Packet) -> None:
@@ -384,6 +415,13 @@ class PacketLevelEngine:
             self.stats["drops_no_route"] += 1
         else:
             self.stats["drops_policy"] += 1
+        if self.trace_bus is not None:
+            self.trace_bus.emit(
+                "packet.drop",
+                reason=kind,
+                packet=packet.packet_id,
+                flow=packet.flow_id,
+            )
         flow = self.flows.get(packet.flow_id)
         if flow is not None:
             flow.bytes_dropped += packet.size_bytes

@@ -10,6 +10,13 @@ from ..openflow.headers import HeaderFields
 _PACKET_IDS = itertools.count(1)
 
 
+def reset_packet_ids() -> None:
+    """Rewind the process-global packet-id counter to its import-time
+    state (sweep workers isolate jobs this way)."""
+    global _PACKET_IDS
+    _PACKET_IDS = itertools.count(1)
+
+
 @dataclass
 class Packet:
     """One packet: a header tuple, a size, and bookkeeping timestamps.

@@ -19,13 +19,15 @@ Schema (the ``runtime`` section is new in this module)::
       "policies": { ... },
       "traffic":  {"kind": "matrix", ...} | {"kind": "trace", ...},
       "runtime":  {"checkpoint_path": "run.ckpt",
-                   "checkpoint_interval_s": 5.0}
+                   "checkpoint_interval_s": 5.0,
+                   "monitor_mode": "poll",
+                   "trace_path": "run.trace.jsonl",
+                   "profile": false}
     }
 """
 
 from __future__ import annotations
 
-import itertools
 from typing import Optional, Tuple
 
 from ..core import Horse, HorseConfig
@@ -88,6 +90,12 @@ def build_config(
         seed=scenario.get("seed", 0),
         link_sample_interval_s=scenario.get("link_sample_interval_s"),
         monitor_interval_s=scenario.get("monitor_interval_s"),
+        monitor_mode=runtime.get("monitor_mode", "poll"),
+        monitor_push_min_delta_bytes=runtime.get(
+            "monitor_push_min_delta_bytes", 0.0
+        ),
+        trace_path=runtime.get("trace_path"),
+        profile=runtime.get("profile", False),
         checkpoint_path=runtime.get("checkpoint_path"),
         checkpoint_interval_s=runtime.get("checkpoint_interval_s"),
     )
@@ -154,10 +162,10 @@ def reset_id_counters() -> None:
     inheritance — making job results identical whether the job runs
     serially, on any worker, or after a retry.
     """
-    from ..flowsim import flow as flow_module
-    from ..openflow import flowtable as flowtable_module
-    from ..pktsim import packet as packet_module
+    from ..flowsim.flow import reset_flow_ids
+    from ..openflow.flowtable import reset_entry_seq
+    from ..pktsim.packet import reset_packet_ids
 
-    flow_module._FLOW_IDS = itertools.count(1)
-    flowtable_module._ENTRY_SEQ = itertools.count()
-    packet_module._PACKET_IDS = itertools.count(1)
+    reset_flow_ids()
+    reset_entry_seq()
+    reset_packet_ids()

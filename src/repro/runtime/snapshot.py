@@ -22,7 +22,6 @@ Two details make the round trip *bitwise* deterministic:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict
 
@@ -49,14 +48,10 @@ def _id_watermarks(horse: "Horse") -> Dict[str, int]:
             continue
         for table in pipeline.tables:
             for entry in table:
-                max_entry = max(max_entry, entry._seq)
+                max_entry = max(max_entry, entry.seq)
     return {"flow_id": max_flow, "entry_seq": max_entry}
 
 
-def _advance_counter(module: Any, name: str, minimum: int) -> None:
-    """Ensure ``module.<name>`` never yields a value <= ``minimum``."""
-    probe = next(getattr(module, name))
-    setattr(module, name, itertools.count(max(probe, minimum + 1)))
 
 
 @dataclass
@@ -118,13 +113,9 @@ class SimulationSnapshot:
                 f"snapshot version {self.version} is newer than this "
                 f"build supports ({SNAPSHOT_VERSION})"
             )
-        from ..flowsim import flow as flow_module
-        from ..openflow import flowtable as flowtable_module
+        from ..flowsim.flow import advance_flow_ids
+        from ..openflow.flowtable import advance_entry_seq
 
-        _advance_counter(
-            flow_module, "_FLOW_IDS", self.watermarks.get("flow_id", 0)
-        )
-        _advance_counter(
-            flowtable_module, "_ENTRY_SEQ", self.watermarks.get("entry_seq", 0)
-        )
+        advance_flow_ids(self.watermarks.get("flow_id", 0))
+        advance_entry_seq(self.watermarks.get("entry_seq", 0))
         return self.horse

@@ -181,13 +181,16 @@ def _sweep_worker(payload: Dict[str, Any]) -> dict:
 
     reset_id_counters()
     scenario = copy.deepcopy(payload["scenario"])
+    runtime = dict(scenario.get("runtime") or {})
+    # Per-phase wall clock on by default so every job manifests where its
+    # time went; the spec can opt out with {"runtime": {"profile": false}}.
+    runtime.setdefault("profile", True)
     ckpt_path = payload.get("checkpoint_path")
     interval = payload.get("checkpoint_interval_s")
     if ckpt_path and interval:
-        runtime = dict(scenario.get("runtime") or {})
         runtime["checkpoint_path"] = ckpt_path
         runtime["checkpoint_interval_s"] = interval
-        scenario["runtime"] = runtime
+    scenario["runtime"] = runtime
 
     resumed = False
     if ckpt_path and os.path.exists(ckpt_path):
@@ -205,6 +208,18 @@ def _sweep_worker(payload: Dict[str, Any]) -> dict:
     row = result.row()
     row.pop("wall_time_s", None)
     row.pop("events_per_s", None)
+    # The per-phase profile is wall clock, so it belongs with the other
+    # non-deterministic bookkeeping in "execution" — never in "result",
+    # which must aggregate byte-identically across schedules.
+    engine_stats = dict(result.engine_stats)
+    profile = engine_stats.pop("profile", None)
+    execution = {
+        "attempt": attempt,
+        "resumed_from_checkpoint": resumed,
+        "wall_time_s": round(result.wall_time_s, 4),
+    }
+    if profile is not None:
+        execution["profile"] = profile
     return {
         "index": payload["index"],
         "params": payload["params"],
@@ -213,13 +228,9 @@ def _sweep_worker(payload: Dict[str, Any]) -> dict:
             **row,
             "fct": result.fct_summary(),
             "fairness": result.fairness(),
-            "engine_stats": result.engine_stats,
+            "engine_stats": engine_stats,
         },
-        "execution": {
-            "attempt": attempt,
-            "resumed_from_checkpoint": resumed,
-            "wall_time_s": round(result.wall_time_s, 4),
-        },
+        "execution": execution,
     }
 
 

@@ -147,7 +147,7 @@ class LinkFaultInjector:
         record = FaultRecord(link=key, failed_at=sim.now)
         self.records.append(record)
         self._open[key] = record
-        self.engine._on_link_state(a, b, up=False)
+        self.engine.on_link_state(a, b, up=False)
         profile = self._watched[key]
         repair_delay = self.rng.expovariate(1.0 / profile.mttr_s)
         sim.call_in(repair_delay, self._repair, key)
@@ -157,7 +157,7 @@ class LinkFaultInjector:
         record = self._open.pop(key, None)
         if record is not None:
             record.repaired_at = sim.now
-        self.engine._on_link_state(a, b, up=True)
+        self.engine.on_link_state(a, b, up=True)
         self._schedule_failure(key)
 
     # ------------------------------------------------------------------

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import itertools
 import logging
+import time as _time
 from typing import Any, Callable, Iterable, List, Optional
 
 from ..errors import SchedulingError
@@ -56,6 +57,13 @@ class Simulator:
         self.fired_count = 0
         #: Per-event-type fire counts, populated when ``trace`` is enabled.
         self.fired_by_type: dict = {}
+        #: Structured trace sink (:class:`repro.telemetry.TraceBus`) or
+        #: None; every emission site checks ``is not None``, so the
+        #: disabled path costs one attribute read.
+        self.trace_bus = None
+        #: Per-phase profiler (:class:`repro.telemetry.PhaseProfiler`) or
+        #: None.  The kernel charges the inclusive "dispatch" phase.
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -69,6 +77,15 @@ class Simulator:
     def pending(self) -> int:
         """Number of events still queued (including cancelled ones)."""
         return len(self._queue)
+
+    def stats_snapshot(self) -> dict:
+        """Kernel counters (picklable metrics source for
+        :class:`repro.telemetry.MetricsRegistry`)."""
+        return {
+            "now": self._now,
+            "fired_events": self.fired_count,
+            "pending_events": len(self._queue),
+        }
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -140,11 +157,21 @@ class Simulator:
             # callback (periodic checkpointing) already includes the
             # firing event: a restored run never re-counts it.
             self.fired_count += 1
+            profiler = self.profiler
             try:
-                event.fire(self)
+                if profiler is not None:
+                    _t0 = _time.perf_counter()
+                    try:
+                        event.fire(self)
+                    finally:
+                        profiler.add("dispatch", _time.perf_counter() - _t0)
+                else:
+                    event.fire(self)
             except StopIteration:
                 # A periodic callback may raise StopIteration to end its series.
                 pass
+            if self.trace_bus is not None:
+                self.trace_bus.emit("kernel.event", event=type(event).__name__)
             if self.trace:
                 name = type(event).__name__
                 self.fired_by_type[name] = self.fired_by_type.get(name, 0) + 1

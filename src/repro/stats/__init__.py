@@ -1,6 +1,6 @@
 """Statistics: time series, run collection, comparison metrics."""
 
-from .collector import StatsCollector
+from .collector import RunStatsCollector, StatsCollector
 from .export import (
     flow_row,
     flows_to_csv,
@@ -20,6 +20,7 @@ from .metrics import (
 from .timeseries import TimeSeries
 
 __all__ = [
+    "RunStatsCollector",
     "StatsCollector",
     "flow_row",
     "flows_to_csv",

@@ -1,13 +1,18 @@
 """Statistics collection across a run.
 
-:class:`StatsCollector` hooks the flow-level engine's observer list (or
-samples the packet engine's flows after a run) and records flow
+:class:`RunStatsCollector` hooks the flow-level engine's observer list
+(or samples the packet engine's flows after a run) and records flow
 outcomes, completion times, throughputs, and per-link utilization
 series — the data every benchmark and example reports from.
+
+:class:`~repro.core.simulator.Horse` constructs one per run and exposes
+it as ``horse.collector``; construct your own only for engine-less
+analysis.  The old :class:`StatsCollector` name is a deprecated alias.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Tuple
 
 from ..flowsim.flow import Flow, FlowState
@@ -17,7 +22,7 @@ from .metrics import jain_fairness, summarize
 from .timeseries import TimeSeries
 
 
-class StatsCollector:
+class RunStatsCollector:
     """Record flow outcomes and link utilization.
 
     Use :meth:`attach_flow_engine` for live collection from the
@@ -110,3 +115,22 @@ class StatsCollector:
             key: series.time_weighted_mean()
             for key, series in self.link_utilization.items()
         }
+
+
+class StatsCollector(RunStatsCollector):
+    """Deprecated alias for :class:`RunStatsCollector`.
+
+    Runs already own a collector: use ``horse.collector`` (and
+    ``horse.telemetry`` for the unified metric/trace surface) instead of
+    constructing one directly.  This shim will be removed one release
+    after its introduction.
+    """
+
+    def __init__(self, topology: Topology) -> None:
+        warnings.warn(
+            "StatsCollector is deprecated; use horse.collector (or "
+            "repro.stats.RunStatsCollector for standalone analysis)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(topology)

@@ -99,6 +99,7 @@ def result_to_dict(result: "RunResult") -> dict:
             f"{node}:{port}": value
             for (node, port), value in sorted(result.link_max_utilization.items())
         },
+        "metrics": dict(result.metrics),
         "notes": list(result.notes),
         "flows": [flow_row(flow) for flow in result.flows],
     }

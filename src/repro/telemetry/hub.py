@@ -1,0 +1,136 @@
+"""The unified observation entry point.
+
+One :class:`Telemetry` per simulation owns the metrics registry and
+controls tracing/profiling for every bound subsystem.  Subsystems opt in
+by exposing ``trace_bus`` and/or ``profiler`` attributes (``None`` when
+disabled); :meth:`Telemetry.bind` records them, and enable/disable calls
+swap the shared :class:`~repro.telemetry.trace.TraceBus` /
+:class:`~repro.telemetry.profile.PhaseProfiler` in and out of those
+slots.  :class:`~repro.core.simulator.Horse` constructs and binds one
+automatically — ``horse.telemetry`` is the user-facing handle.
+"""
+
+from __future__ import annotations
+
+from typing import IO, Dict, List, Optional
+
+from .profile import PhaseProfiler
+from .registry import MetricsRegistry
+from .trace import TraceBus
+
+
+class Telemetry:
+    """Registry + trace/profiling control for one simulation.
+
+    Examples
+    --------
+    >>> from repro.sim import Simulator
+    >>> telemetry = Telemetry(Simulator())
+    >>> bus = telemetry.enable_tracing()   # in-memory buffer
+    >>> bus.emit("example", detail=1)
+    >>> telemetry.disable_tracing()["example"]["count"]
+    1
+    """
+
+    def __init__(self, sim=None) -> None:
+        self._sim = sim
+        self.registry = MetricsRegistry()
+        self.trace: Optional[TraceBus] = None
+        self.profiler: Optional[PhaseProfiler] = None
+        self._sinks: List[object] = []
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def bind(self, *sinks: object) -> None:
+        """Register subsystems whose ``trace_bus``/``profiler`` slots
+        this hub manages.  Already-enabled tracing/profiling is applied
+        to newly bound sinks immediately."""
+        for sink in sinks:
+            if sink is None or sink in self._sinks:
+                continue
+            self._sinks.append(sink)
+            if self.trace is not None and hasattr(sink, "trace_bus"):
+                sink.trace_bus = self.trace
+            if self.profiler is not None and hasattr(sink, "profiler"):
+                sink.profiler = self.profiler
+
+    # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    @property
+    def tracing_enabled(self) -> bool:
+        return self.trace is not None
+
+    def enable_tracing(
+        self,
+        path: Optional[str] = None,
+        stream: Optional[IO[str]] = None,
+    ) -> TraceBus:
+        """Start tracing every bound subsystem.
+
+        ``path`` appends JSONL records there; with neither ``path`` nor
+        ``stream`` the records buffer in ``bus.events``.  Idempotent
+        while already enabled (returns the live bus).
+        """
+        if self.trace is not None:
+            return self.trace
+        bus = TraceBus(self._sim, path=path, stream=stream)
+        self.trace = bus
+        for sink in self._sinks:
+            if hasattr(sink, "trace_bus"):
+                sink.trace_bus = bus
+        return bus
+
+    def disable_tracing(self) -> Optional[dict]:
+        """Stop tracing; returns the closed trace's per-kind summary
+        (None when tracing was not enabled)."""
+        bus = self.trace
+        if bus is None:
+            return None
+        self.trace = None
+        for sink in self._sinks:
+            if getattr(sink, "trace_bus", None) is bus:
+                sink.trace_bus = None
+        bus.close()
+        from .trace import summarize_trace
+
+        return summarize_trace(bus.events)["kinds"] if bus.events else {}
+
+    # ------------------------------------------------------------------
+    # Profiling
+    # ------------------------------------------------------------------
+    @property
+    def profiling_enabled(self) -> bool:
+        return self.profiler is not None
+
+    def enable_profiling(self) -> PhaseProfiler:
+        """Start per-phase wall-clock accounting on bound subsystems."""
+        if self.profiler is None:
+            self.profiler = PhaseProfiler()
+            for sink in self._sinks:
+                if hasattr(sink, "profiler"):
+                    sink.profiler = self.profiler
+        return self.profiler
+
+    def disable_profiling(self) -> Optional[Dict[str, dict]]:
+        """Stop profiling; returns the final per-phase snapshot."""
+        profiler = self.profiler
+        if profiler is None:
+            return None
+        self.profiler = None
+        for sink in self._sinks:
+            if getattr(sink, "profiler", None) is profiler:
+                sink.profiler = None
+        return profiler.snapshot()
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """The registry's flattened metric namespace."""
+        return self.registry.snapshot()
+
+    def prometheus(self) -> str:
+        """The registry as a Prometheus-style text exposition."""
+        return self.registry.to_prometheus()

@@ -1,0 +1,67 @@
+"""Per-phase wall-clock profiling for simulation hot paths.
+
+A :class:`PhaseProfiler` accumulates host seconds per named phase.  The
+kernel charges ``dispatch`` (inclusive: everything an event's firing
+does), the flow engine charges ``solve`` (rate re-computation) and
+``route`` (pipeline walks) inside it, so ``dispatch - solve - route``
+approximates everything else.  Like tracing, profiling is off by
+default and every measuring site is guarded by an ``is not None``
+check.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class PhaseProfiler:
+    """Accumulates wall-clock time and invocation counts per phase.
+
+    Examples
+    --------
+    >>> profiler = PhaseProfiler()
+    >>> with profiler.phase("solve"):
+    ...     pass
+    >>> profiler.snapshot()["solve"]["count"]
+    1
+    """
+
+    __slots__ = ("totals", "counts")
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
+
+    def add(self, phase: str, seconds: float) -> None:
+        """Charge ``seconds`` of wall time to ``phase``."""
+        self.totals[phase] = self.totals.get(phase, 0.0) + seconds
+        self.counts[phase] = self.counts.get(phase, 0) + 1
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context-manager convenience around :meth:`add`.
+
+        Hot paths should call ``perf_counter`` + :meth:`add` directly;
+        the context manager is for control-rate call sites.
+        """
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def reset(self) -> None:
+        self.totals.clear()
+        self.counts.clear()
+
+    def snapshot(self) -> Dict[str, dict]:
+        """``{phase: {"wall_s": ..., "count": ...}}`` (sorted by name)."""
+        return {
+            name: {
+                "wall_s": round(self.totals[name], 6),
+                "count": self.counts[name],
+            }
+            for name in sorted(self.totals)
+        }

@@ -145,9 +145,9 @@ def test_process_drives_engine_scenario(line2, install_path):
 
     def operator(s):
         yield 2.0
-        engine._on_link_state("s1", "s2", up=False)
+        engine.on_link_state("s1", "s2", up=False)
         yield 1.0
-        engine._on_link_state("s1", "s2", up=True)
+        engine.on_link_state("s1", "s2", up=True)
 
     spawn(sim, operator)
     sim.run()

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.stats import (
-    StatsCollector,
+    RunStatsCollector,
     TimeSeries,
     jain_fairness,
     mean_relative_error,
@@ -112,7 +112,7 @@ class TestCollector:
         install_path(line2, "h1", "h2")
         sim = Simulator()
         engine = FlowLevelEngine(sim, line2)
-        collector = StatsCollector(line2)
+        collector = RunStatsCollector(line2)
         collector.attach_flow_engine(engine)
         collector.enable_link_sampling(sim, interval=0.5)
         h1, h2 = line2.host("h1"), line2.host("h2")
@@ -148,7 +148,25 @@ class TestCollector:
         )
         flow.state = FlowState.COMPLETED
         flow.end_time = 1.0
-        collector = StatsCollector(line2)
+        collector = RunStatsCollector(line2)
         collector.harvest_flows({flow.flow_id: flow})
         collector.harvest_flows({flow.flow_id: flow})  # no duplicates
         assert collector.completed == [flow]
+
+
+class TestDeprecatedAlias:
+    def test_constructor_warns_once_per_call_site(self, line2):
+        import warnings
+
+        from repro.stats import StatsCollector
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("default")
+            for _ in range(3):
+                collector = StatsCollector(line2)  # one call site
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "RunStatsCollector" in str(deprecations[0].message)
+        assert isinstance(collector, RunStatsCollector)
