@@ -1,6 +1,6 @@
 # Convenience targets for the Horse reproduction.
 
-.PHONY: install test lint typecheck check bench bench-quick telemetry-gate sweep-smoke examples clean
+.PHONY: install test lint lint-sim typecheck check bench bench-quick telemetry-gate sweep-smoke examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -16,6 +16,15 @@ lint:
 		&& ruff check src \
 		|| echo "ruff not installed; skipping (pip install -e .[dev])"
 	python tools/check_private_access.py
+	$(MAKE) lint-sim
+
+# Simulation-correctness linter (determinism / snapshot-safety /
+# telemetry-guard / private-access / handler hygiene): must stay clean
+# against the shipped (empty) baseline.
+lint-sim:
+	PYTHONPATH=src python -m repro lint src/repro \
+		--baseline tools/lint-baseline.json --format sarif \
+		--output lint.sarif --strict
 
 typecheck:
 	@command -v mypy >/dev/null 2>&1 \
@@ -54,4 +63,5 @@ examples:
 
 clean:
 	rm -rf .pytest_cache .hypothesis .benchmarks .sweep-smoke
+	rm -f lint.sarif
 	find . -name __pycache__ -type d -exec rm -rf {} +

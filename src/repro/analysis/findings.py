@@ -9,6 +9,7 @@ renders the human/JSON reports the ``repro analyze`` subcommand prints.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -18,6 +19,135 @@ SEVERITY_WARNING = "warning"
 SEVERITY_INFO = "info"
 
 _SEVERITY_ORDER = {SEVERITY_ERROR: 0, SEVERITY_WARNING: 1, SEVERITY_INFO: 2}
+
+#: SARIF 2.1.0 result levels for each severity.
+SEVERITY_TO_SARIF = {
+    SEVERITY_ERROR: "error",
+    SEVERITY_WARNING: "warning",
+    SEVERITY_INFO: "note",
+}
+
+#: SARIF version pinned by the shared reporters.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def severity_rank(severity: str) -> int:
+    """Sort key: 0 = error, 1 = warning, 2 = info, 3 = unknown."""
+    return _SEVERITY_ORDER.get(severity, 3)
+
+
+def fingerprint_of(rule: str, location: Dict[str, object], message: str) -> str:
+    """Stable 16-hex-digit identity of one finding.
+
+    The fingerprint keys baselines and CI report merging: it is a pure
+    function of the rule id, the location envelope (file/line or
+    switch/table), and the message — independent of discovery order.
+    """
+    parts = [rule, message]
+    for key in sorted(location):
+        parts.append(f"{key}={location[key]}")
+    digest = hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
+    return digest[:16]
+
+
+def envelope(
+    rule: str,
+    severity: str,
+    message: str,
+    location: Dict[str, object],
+) -> Dict[str, object]:
+    """The JSON envelope shared by ``repro analyze`` and ``repro lint``.
+
+    Every finding either tool emits renders to this shape, so CI can
+    concatenate the two reports into one stream keyed by fingerprint.
+    """
+    return {
+        "rule": rule,
+        "severity": severity,
+        "message": message,
+        "location": dict(location),
+        "fingerprint": fingerprint_of(rule, location, message),
+    }
+
+
+def sarif_document(
+    envelopes: List[Dict[str, object]],
+    rules: List[Dict[str, str]],
+    tool_name: str,
+) -> Dict[str, object]:
+    """Render finding envelopes as a single-run SARIF 2.1.0 document.
+
+    ``rules`` lists the rule metadata to embed in the tool driver:
+    dicts with ``id``, ``name``, and ``description`` keys.  Only rules
+    given there are embedded; results may reference others.
+    """
+    results = []
+    for record in envelopes:
+        location = record.get("location") or {}
+        physical: Dict[str, object] = {}
+        if "file" in location:
+            region: Dict[str, object] = {}
+            if "line" in location:
+                region["startLine"] = location["line"]
+            if "column" in location:
+                region["startColumn"] = location["column"]
+            physical = {
+                "artifactLocation": {"uri": str(location["file"])},
+            }
+            if region:
+                physical["region"] = region
+        else:
+            # Data-plane findings locate in the network, not a file; the
+            # logical location carries the switch/table coordinates.
+            physical = {
+                "artifactLocation": {
+                    "uri": str(location.get("switch", "network"))
+                },
+            }
+        results.append(
+            {
+                "ruleId": record["rule"],
+                "level": SEVERITY_TO_SARIF.get(
+                    str(record["severity"]), "warning"
+                ),
+                "message": {"text": record["message"]},
+                "locations": [{"physicalLocation": physical}],
+                "partialFingerprints": {
+                    "reproFingerprint/v1": record["fingerprint"],
+                },
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "informationUri": (
+                            "https://github.com/repro/horse"
+                        ),
+                        "rules": [
+                            {
+                                "id": rule["id"],
+                                "name": rule.get("name", rule["id"]),
+                                "shortDescription": {
+                                    "text": rule.get("description", "")
+                                },
+                            }
+                            for rule in rules
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
 
 #: Finding kinds emitted by the analyzer.
 KIND_LOOP = "loop"
@@ -63,12 +193,38 @@ class Finding:
     path: Tuple[str, ...] = ()
     traffic_class: Optional[str] = None
 
+    @property
+    def rule(self) -> str:
+        """Stable rule id: data-plane findings are ``DP-<KIND>``."""
+        return "DP-" + self.kind.upper().replace("_", "-")
+
+    def location(self) -> Dict[str, object]:
+        """Location part of the shared finding envelope."""
+        loc: Dict[str, object] = {}
+        if self.switch is not None:
+            loc["switch"] = self.switch
+        if self.table_id is not None:
+            loc["table_id"] = self.table_id
+        if self.path:
+            loc["path"] = " -> ".join(self.path)
+        return loc
+
+    @property
+    def fingerprint(self) -> str:
+        return fingerprint_of(self.rule, self.location(), self.message)
+
+    def to_envelope(self) -> Dict[str, object]:
+        """Render to the envelope shared with ``repro lint``."""
+        return envelope(self.rule, self.severity, self.message, self.location())
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable rendering."""
         record: Dict[str, object] = {
             "kind": self.kind,
+            "rule": self.rule,
             "severity": self.severity,
             "message": self.message,
+            "fingerprint": self.fingerprint,
         }
         if self.switch is not None:
             record["switch"] = self.switch
@@ -147,6 +303,27 @@ class AnalysisReport:
             "infos": len(self.infos),
             "findings": [f.to_dict() for f in self.sorted_findings()],
         }
+
+    def to_sarif(self) -> Dict[str, object]:
+        """SARIF 2.1.0 rendering (same run shape as ``repro lint``)."""
+        findings = self.sorted_findings()
+        seen: Dict[str, Dict[str, str]] = {}
+        for finding in findings:
+            seen.setdefault(
+                finding.rule,
+                {
+                    "id": finding.rule,
+                    "name": finding.kind,
+                    "description": (
+                        f"data-plane {finding.kind.replace('_', ' ')} finding"
+                    ),
+                },
+            )
+        return sarif_document(
+            [f.to_envelope() for f in findings],
+            [seen[key] for key in sorted(seen)],
+            tool_name="repro-analyze",
+        )
 
     def summary_text(self) -> str:
         """Multi-line human-readable report."""

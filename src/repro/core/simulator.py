@@ -309,11 +309,11 @@ class Horse:
         # Remembered so a checkpoint captured mid-run knows its horizon:
         # a restored run continues to the same `until` by default.
         self.last_until = until
-        wall_start = _time.perf_counter()
+        wall_start = _time.perf_counter()  # repro: noqa[DET001] - reported wall time; never feeds sim state
         self.sim.run(until=until)
         if isinstance(self.engine, FlowLevelEngine):
             self.engine.finish()
-        wall = _time.perf_counter() - wall_start
+        wall = _time.perf_counter() - wall_start  # repro: noqa[DET001] - reported wall time; never feeds sim state
         result = RunResult(
             wall_time_s=wall,
             sim_time_s=self.sim.now,

@@ -556,11 +556,11 @@ class FlowLevelEngine:
         if profiler is None:
             self._route_inner(flow)
             return
-        _t0 = _time.perf_counter()
+        _t0 = _time.perf_counter()  # repro: noqa[DET001] - profiler timing; never feeds sim state
         try:
             self._route_inner(flow)
         finally:
-            profiler.add("route", _time.perf_counter() - _t0)
+            profiler.add("route", _time.perf_counter() - _t0)  # repro: noqa[DET001] - profiler timing; never feeds sim state
 
     def _route_inner(self, flow: Flow) -> None:
         # Charge traffic at the old rate/route before it changes.
@@ -836,7 +836,9 @@ class FlowLevelEngine:
     def _reroute_flows(self, flow_ids: Set[int]) -> Set[int]:
         """Re-walk the given flows; returns ids whose route changed."""
         changed: Set[int] = set()
-        for flow_id in flow_ids:
+        # Sorted: the re-walk order decides observer-event order and
+        # route-cache population, which must not borrow set hashing.
+        for flow_id in sorted(flow_ids):
             flow = self.active.get(flow_id)
             if flow is None:
                 continue
@@ -1059,11 +1061,11 @@ class FlowLevelEngine:
         if profiler is None:
             self._recompute_inner(changed)
             return
-        _t0 = _time.perf_counter()
+        _t0 = _time.perf_counter()  # repro: noqa[DET001] - profiler timing; never feeds sim state
         try:
             self._recompute_inner(changed)
         finally:
-            profiler.add("solve", _time.perf_counter() - _t0)
+            profiler.add("solve", _time.perf_counter() - _t0)  # repro: noqa[DET001] - profiler timing; never feeds sim state
 
     def _recompute_inner(self, changed: Set[int]) -> None:
         self.stats["rate_solves"] += 1

@@ -615,15 +615,22 @@ class IncrementalSolver:
         roots: Set[Hashable] = set()
         if full:
             roots.update(self._members)
-            for flow_id in self._free:
+            # Insertion order keeps the result dict (and therefore the
+            # order rates are applied in) independent of set hashing.
+            for flow_id in sorted(self._free, key=self._seq.__getitem__):
                 result[flow_id] = self._flows[flow_id].demand_bps
             touched.update(self._dirty_links)
         else:
-            for link in self._dirty_links:
+            # Only populates sets (order-insensitive); link keys are
+            # opaque hashables with no portable sort order.
+            for link in self._dirty_links:  # repro: noqa[DET003] - fills sets only; order cannot leak
                 touched.add(link)
                 if link in self._parent:
                     roots.add(self._find(link))
-            for flow_id in self._dirty_flows:
+            dirty_order = sorted(
+                self._dirty_flows, key=lambda i: self._seq.get(i, -1)
+            )
+            for flow_id in dirty_order:
                 flow = self._flows.get(flow_id)
                 if flow is None:
                     continue

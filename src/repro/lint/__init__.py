@@ -1,0 +1,57 @@
+"""Simulation-correctness lint framework.
+
+A pluggable AST-based static analyzer for the *code* of the simulator,
+the source-level sibling of :mod:`repro.analysis` (which verifies the
+installed forwarding state).  Five built-in rule families enforce the
+invariants the runtime differential suites otherwise discover hours
+late: determinism (DET...), snapshot safety (SNAP...), telemetry
+zero-cost guards (TEL...), cross-module private access (PRIV...), and
+event-handler hygiene (EVT...).
+
+Quick use::
+
+    from repro.lint import run_lint
+    report = run_lint(["src/repro"])
+    assert report.ok, report.summary_text()
+
+or from the command line::
+
+    repro lint src/ --format sarif --strict
+
+Both tools share one finding envelope (rule id, severity, location,
+message, fingerprint — :func:`repro.analysis.findings.envelope`), so CI
+merges their JSON/SARIF reports into a single stream.
+"""
+
+from .context import ModuleContext
+from .engine import (
+    iter_python_files,
+    lint_source,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+from .findings import LintFinding, LintReport
+from .registry import (
+    LintConfigError,
+    Rule,
+    all_rules,
+    register,
+    select_rules,
+)
+
+__all__ = [
+    "LintConfigError",
+    "LintFinding",
+    "LintReport",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "iter_python_files",
+    "lint_source",
+    "load_baseline",
+    "register",
+    "run_lint",
+    "select_rules",
+    "write_baseline",
+]

@@ -1,0 +1,179 @@
+"""Typed findings produced by the simulation-correctness linter.
+
+A :class:`LintFinding` is one static defect in the *code* (a wall-clock
+read in simulation state, an unpicklable attribute, an unguarded
+telemetry emission ...), the source-level sibling of the data-plane
+:class:`repro.analysis.findings.Finding`.  Both render to the same
+JSON/SARIF envelope (rule id, severity, location, message, fingerprint
+— see :func:`repro.analysis.findings.envelope`), so CI can merge the
+``repro analyze`` and ``repro lint`` reports into one stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..analysis.findings import (
+    SEVERITY_ERROR,
+    SEVERITY_INFO,
+    SEVERITY_WARNING,
+    envelope,
+    fingerprint_of,
+    sarif_document,
+    severity_rank,
+)
+
+__all__ = [
+    "LintFinding",
+    "LintReport",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "SEVERITY_INFO",
+]
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One source-level finding.
+
+    Attributes
+    ----------
+    rule:
+        Stable rule id (``DET001``, ``SNAP002``, ...).
+    severity:
+        ``error`` / ``warning`` / ``info`` — shared vocabulary with the
+        data-plane analyzer.
+    message:
+        Human-readable one-line description.
+    file:
+        Path of the offending module, as given on the command line.
+    line / column:
+        1-based line and 0-based column of the offending node.
+    """
+
+    rule: str
+    severity: str
+    message: str
+    file: str
+    line: int
+    column: int = 0
+
+    def location(self) -> Dict[str, object]:
+        return {"file": self.file, "line": self.line, "column": self.column}
+
+    @property
+    def fingerprint(self) -> str:
+        return fingerprint_of(self.rule, self.location(), self.message)
+
+    def to_envelope(self) -> Dict[str, object]:
+        return envelope(self.rule, self.severity, self.message, self.location())
+
+    def __str__(self) -> str:
+        return (
+            f"{self.file}:{self.line}:{self.column + 1}: "
+            f"{self.rule} [{self.severity}] {self.message}"
+        )
+
+
+@dataclass
+class LintReport:
+    """The full result of one lint run."""
+
+    findings: List[LintFinding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: int = 0
+    #: Findings suppressed by ``# repro: noqa[...]`` comments.
+    suppressed: int = 0
+    #: Findings filtered by the baseline file.
+    baselined: int = 0
+
+    @property
+    def errors(self) -> List[LintFinding]:
+        return [f for f in self.findings if f.severity == SEVERITY_ERROR]
+
+    @property
+    def warnings(self) -> List[LintFinding]:
+        return [f for f in self.findings if f.severity == SEVERITY_WARNING]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def by_rule(self, rule: str) -> List[LintFinding]:
+        return [f for f in self.findings if f.rule == rule]
+
+    def sorted_findings(self) -> List[LintFinding]:
+        return sorted(
+            self.findings,
+            key=lambda f: (f.file, f.line, f.column, f.rule, f.message),
+        )
+
+    def extend(self, findings: List[LintFinding]) -> None:
+        self.findings.extend(findings)
+
+    def exit_code(self, strict: bool = False) -> int:
+        """CI gate semantics, shared with ``repro analyze``: the exit
+        status reports findings only when ``strict`` is set; otherwise
+        findings flow to the report (text/JSON/SARIF) and the command
+        exits 0 so CI can merge reports before gating."""
+        if strict and self.findings:
+            return 1
+        return 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "files_checked": self.files_checked,
+            "rules_run": self.rules_run,
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+            "findings": [f.to_envelope() for f in self.sorted_findings()],
+        }
+
+    def to_sarif(self) -> Dict[str, object]:
+        """SARIF 2.1.0 document (same run shape as ``repro analyze``)."""
+        from .registry import all_rules
+
+        known = {rule.id: rule for rule in all_rules()}
+        used = sorted({f.rule for f in self.findings})
+        rules = [
+            {
+                "id": rule_id,
+                "name": known[rule_id].name if rule_id in known else rule_id,
+                "description": (
+                    known[rule_id].description if rule_id in known else ""
+                ),
+            }
+            for rule_id in used
+        ]
+        return sarif_document(
+            [f.to_envelope() for f in self.sorted_findings()],
+            rules,
+            tool_name="repro-lint",
+        )
+
+    def summary_text(self) -> str:
+        lines = [
+            f"checked {self.files_checked} file(s) against "
+            f"{self.rules_run} rule(s)"
+            + (
+                f" ({self.suppressed} suppressed, {self.baselined} baselined)"
+                if self.suppressed or self.baselined
+                else ""
+            )
+        ]
+        if not self.findings:
+            lines.append("no findings: simulation-correctness lint clean")
+            return "\n".join(lines)
+        for finding in self.sorted_findings():
+            lines.append(str(finding))
+        lines.append(
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.findings) - len(self.errors) - len(self.warnings)} info"
+        )
+        return "\n".join(lines)
+
+    def severity_rank(self, severity: str) -> int:
+        return severity_rank(severity)

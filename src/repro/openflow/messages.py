@@ -21,10 +21,38 @@ from .meter import DropBand
 
 _XID = itertools.count(1)
 
+#: Highest xid handed out so far (0 = none): the checkpoint watermark,
+#: so a restored run in a fresh process never reuses transaction ids.
+_XID_LAST = 0
+
 
 def next_xid() -> int:
     """Allocate a transaction id (monotone per process)."""
-    return next(_XID)
+    global _XID_LAST
+    _XID_LAST = next(_XID)
+    return _XID_LAST
+
+
+def xid_watermark() -> int:
+    """Highest xid allocated so far (checkpoint capture reads this)."""
+    return _XID_LAST
+
+
+def reset_xids() -> None:
+    """Rewind the process-global xid counter to its import-time state
+    (sweep workers isolate jobs this way)."""
+    global _XID, _XID_LAST
+    _XID = itertools.count(1)
+    _XID_LAST = 0
+
+
+def advance_xids(minimum: int) -> None:
+    """Ensure future xids are > ``minimum`` (checkpoint restore advances
+    past the snapshot's watermark)."""
+    global _XID, _XID_LAST
+    start = max(_XID_LAST, minimum) + 1
+    _XID = itertools.count(start)
+    _XID_LAST = start - 1
 
 
 @dataclass

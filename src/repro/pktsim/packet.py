@@ -9,12 +9,38 @@ from ..openflow.headers import HeaderFields
 
 _PACKET_IDS = itertools.count(1)
 
+#: Highest packet id handed out so far (0 = none): the checkpoint
+#: watermark, so a restored run in a fresh process never reuses ids.
+_PACKET_ID_LAST = 0
+
+
+def next_packet_id() -> int:
+    """Allocate a packet id (monotone per process)."""
+    global _PACKET_ID_LAST
+    _PACKET_ID_LAST = next(_PACKET_IDS)
+    return _PACKET_ID_LAST
+
+
+def packet_id_watermark() -> int:
+    """Highest packet id allocated so far (checkpoint capture reads this)."""
+    return _PACKET_ID_LAST
+
 
 def reset_packet_ids() -> None:
     """Rewind the process-global packet-id counter to its import-time
     state (sweep workers isolate jobs this way)."""
-    global _PACKET_IDS
+    global _PACKET_IDS, _PACKET_ID_LAST
     _PACKET_IDS = itertools.count(1)
+    _PACKET_ID_LAST = 0
+
+
+def advance_packet_ids(minimum: int) -> None:
+    """Ensure future packet ids are > ``minimum`` (checkpoint restore
+    advances past the snapshot's watermark)."""
+    global _PACKET_IDS, _PACKET_ID_LAST
+    start = max(_PACKET_ID_LAST, minimum) + 1
+    _PACKET_IDS = itertools.count(start)
+    _PACKET_ID_LAST = start - 1
 
 
 @dataclass
@@ -35,7 +61,7 @@ class Packet:
     #: Cumulative one-way propagation+transmission delay experienced.
     accumulated_delay: float = 0.0
     hops: int = 0
-    packet_id: int = field(default_factory=lambda: next(_PACKET_IDS))
+    packet_id: int = field(default_factory=next_packet_id)
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:

@@ -71,7 +71,7 @@ def write_checkpoint(snapshot: SimulationSnapshot, path: str) -> Dict[str, Any]:
         "payload_bytes": len(payload),
         "pickled_bytes": len(raw),
         "payload_sha256": hashlib.sha256(payload).hexdigest(),
-        "created_unix": round(time.time(), 3),
+        "created_unix": round(time.time(), 3),  # repro: noqa[DET001] - checkpoint metadata; not restored state
         "meta": dict(snapshot.meta),
     }
     blob = MAGIC + json.dumps(header, sort_keys=True).encode() + b"\n" + payload

@@ -131,7 +131,7 @@ def run_jobs(
     started_at: Dict[int, float] = {}
 
     def finish(index: int, attempt: int, ok: bool, error: Optional[str]) -> None:
-        wall = time.monotonic() - started_at[index]
+        wall = time.monotonic() - started_at[index]  # repro: noqa[DET001] - worker wall time; job results are id-reset per job
         outcomes[index] = JobOutcome(
             index=index,
             ok=ok,
@@ -145,14 +145,14 @@ def run_jobs(
         emit(kind, index, attempt, error)
         if attempt <= retries:
             delay = backoff_s * (2 ** (attempt - 1)) if backoff_s > 0 else 0.0
-            queue.append((index, attempt + 1, time.monotonic() + delay))
+            queue.append((index, attempt + 1, time.monotonic() + delay))  # repro: noqa[DET001] - retry backoff is host scheduling, not sim state
             emit("retry", index, attempt + 1, f"in {delay:.2f}s")
         else:
             finish(index, attempt, ok=False, error=error)
             emit("failed", index, attempt, error)
 
     while queue or running:
-        now = time.monotonic()
+        now = time.monotonic()  # repro: noqa[DET001] - retry backoff is host scheduling, not sim state
         progressed = False
         # Launch ready attempts into free slots, lowest index first.
         if len(running) < workers:

@@ -164,8 +164,10 @@ def reset_id_counters() -> None:
     """
     from ..flowsim.flow import reset_flow_ids
     from ..openflow.flowtable import reset_entry_seq
+    from ..openflow.messages import reset_xids
     from ..pktsim.packet import reset_packet_ids
 
     reset_flow_ids()
     reset_entry_seq()
     reset_packet_ids()
+    reset_xids()

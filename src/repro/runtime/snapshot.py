@@ -49,7 +49,15 @@ def _id_watermarks(horse: "Horse") -> Dict[str, int]:
         for table in pipeline.tables:
             for entry in table:
                 max_entry = max(max_entry, entry.seq)
-    return {"flow_id": max_flow, "entry_seq": max_entry}
+    from ..openflow.messages import xid_watermark
+    from ..pktsim.packet import packet_id_watermark
+
+    return {
+        "flow_id": max_flow,
+        "entry_seq": max_entry,
+        "packet_id": packet_id_watermark(),
+        "xid": xid_watermark(),
+    }
 
 
 
@@ -115,7 +123,11 @@ class SimulationSnapshot:
             )
         from ..flowsim.flow import advance_flow_ids
         from ..openflow.flowtable import advance_entry_seq
+        from ..openflow.messages import advance_xids
+        from ..pktsim.packet import advance_packet_ids
 
         advance_flow_ids(self.watermarks.get("flow_id", 0))
         advance_entry_seq(self.watermarks.get("entry_seq", 0))
+        advance_packet_ids(self.watermarks.get("packet_id", 0))
+        advance_xids(self.watermarks.get("xid", 0))
         return self.horse

@@ -287,7 +287,7 @@ def run_sweep(
         "manifest_version": MANIFEST_VERSION,
         "name": spec.name,
         "spec": spec.to_dict(),
-        "created_unix": round(time.time(), 3),
+        "created_unix": round(time.time(), 3),  # repro: noqa[DET001] - manifest metadata; not job input
         "jobs": [
             {
                 "index": job.index,

@@ -160,11 +160,11 @@ class Simulator:
             profiler = self.profiler
             try:
                 if profiler is not None:
-                    _t0 = _time.perf_counter()
+                    _t0 = _time.perf_counter()  # repro: noqa[DET001] - profiler timing; never feeds sim state
                     try:
                         event.fire(self)
                     finally:
-                        profiler.add("dispatch", _time.perf_counter() - _t0)
+                        profiler.add("dispatch", _time.perf_counter() - _t0)  # repro: noqa[DET001] - profiler timing; never feeds sim state
                 else:
                     event.fire(self)
             except StopIteration:

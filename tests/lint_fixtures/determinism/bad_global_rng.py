@@ -1,0 +1,9 @@
+"""DET002 positive: draws from the process-global RNG."""
+
+import random
+
+import numpy as np
+
+
+def jitter():
+    return random.random() + np.random.rand()

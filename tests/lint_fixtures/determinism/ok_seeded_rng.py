@@ -1,0 +1,9 @@
+"""DET002 negative: named, explicitly seeded streams."""
+
+import random
+
+import numpy as np
+
+
+def make_streams(seed):
+    return random.Random(seed), np.random.default_rng(seed)

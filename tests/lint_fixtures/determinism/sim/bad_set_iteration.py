@@ -1,0 +1,21 @@
+"""DET003 positive: hash order leaks into event/solver ordering."""
+
+
+def reschedule(sim, flow_ids: set):
+    for flow_id in flow_ids:
+        sim.schedule(flow_id)
+
+
+class Engine:
+    def __init__(self):
+        self.dirty = set()
+
+    def drain(self, sim):
+        for flow_id in self.dirty:
+            sim.schedule(flow_id)
+        rates = [resolve(link) for link in {1, 2, 3}]
+        return rates
+
+
+def resolve(link):
+    return link

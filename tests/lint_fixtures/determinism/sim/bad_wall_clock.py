@@ -1,0 +1,10 @@
+"""DET001 positive: simulation state derived from the host clock."""
+
+import time as _time
+from datetime import datetime
+
+
+def stamp_event(event):
+    event.time = _time.time()  # wall clock into sim state
+    event.created = datetime.now()
+    return event

@@ -1,0 +1,6 @@
+"""DET001 negative: time comes from the kernel clock."""
+
+
+def stamp_event(sim, event):
+    event.time = sim.now
+    return event

@@ -1,0 +1,15 @@
+"""DET003 negative: sorted / order-insensitive consumption of sets."""
+
+
+def reschedule(sim, flow_ids: set):
+    for flow_id in sorted(flow_ids):
+        sim.schedule(flow_id)
+
+
+class Engine:
+    def __init__(self):
+        self.dirty = set()
+
+    def drain(self, sim):
+        worst = max(flow_id for flow_id in self.dirty)
+        return worst

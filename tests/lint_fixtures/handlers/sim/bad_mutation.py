@@ -1,0 +1,15 @@
+"""EVT001 positive: kernel callbacks mutating topology directly."""
+
+
+class ChaosEvent:
+    def __init__(self, topology, a, b):
+        self.topology = topology
+        self.a = a
+        self.b = b
+
+    def fire(self, sim):
+        self.topology.fail_link(self.a, self.b)
+
+
+def churn_tick(sim, topology):
+    topology.restore_link("s1", "s2")

@@ -1,0 +1,23 @@
+"""EVT001 negative: churn goes through the engine's input events."""
+
+
+class ChaosEvent:
+    def __init__(self, engine, a, b):
+        self.engine = engine
+        self.a = a
+        self.b = b
+
+    def fire(self, sim):
+        self.engine.fail_link_at(sim.now, self.a, self.b)
+
+
+class Engine:
+    def on_link_state(self, sim, a, b, up):
+        # The documented mutation point owns the bookkeeping.
+        if up:
+            self.topology.restore_link(a, b)
+        else:
+            self.topology.fail_link(a, b)
+
+    def fail_link_at(self, when, a, b):
+        return (when, a, b)

@@ -1,0 +1,7 @@
+"""PRIV001/PRIV002 positive: cross-module private reach-through."""
+
+from collections import _count_elements
+
+
+def peek(channel):
+    return channel._port_stats

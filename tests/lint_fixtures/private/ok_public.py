@@ -1,0 +1,15 @@
+"""PRIV001/PRIV002 negative: public members and self access only."""
+
+from collections import Counter
+
+
+class Channel:
+    def __init__(self):
+        self._port_stats = Counter()
+
+    def port_stats(self):
+        return dict(self._port_stats)
+
+
+def peek(channel):
+    return channel.port_stats()

@@ -1,0 +1,9 @@
+"""SNAP002 positive: an id counter without watermark plumbing."""
+
+import itertools
+
+_IDS = itertools.count(1)
+
+
+def next_id():
+    return next(_IDS)

@@ -1,0 +1,10 @@
+"""SNAP001 positive: unpicklable attributes on a snapshot-graph class."""
+
+import threading
+
+
+class Engine:
+    def __init__(self, path):
+        self.on_done = lambda flow: None
+        self.log = open(path, "a")
+        self.lock = threading.Lock()

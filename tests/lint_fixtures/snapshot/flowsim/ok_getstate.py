@@ -1,0 +1,12 @@
+"""SNAP001 negative: the class owns its pickling story."""
+
+
+class TraceSink:
+    def __init__(self, path):
+        self.path = path
+        self.handle = open(path, "a")
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["handle"] = None
+        return state

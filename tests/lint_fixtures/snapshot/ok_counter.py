@@ -1,0 +1,25 @@
+"""SNAP002 negative: the counter carries reset/advance watermarks."""
+
+import itertools
+
+_IDS = itertools.count(1)
+_LAST = 0
+
+
+def next_id():
+    global _LAST
+    _LAST = next(_IDS)
+    return _LAST
+
+
+def reset_ids():
+    global _IDS, _LAST
+    _IDS = itertools.count(1)
+    _LAST = 0
+
+
+def advance_ids(minimum):
+    global _IDS, _LAST
+    start = max(_LAST, minimum) + 1
+    _IDS = itertools.count(start)
+    _LAST = start - 1

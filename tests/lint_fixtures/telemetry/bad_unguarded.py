@@ -1,0 +1,11 @@
+"""TEL001 positive: emission without the zero-cost guard."""
+
+
+class Engine:
+    def __init__(self, trace_bus, profiler):
+        self.trace_bus = trace_bus
+        self.profiler = profiler
+
+    def step(self, flow):
+        self.trace_bus.emit("flow_step", flow_id=flow)
+        self.profiler.add("step", 0.0)

@@ -1,0 +1,16 @@
+"""TEL001 negative: every emission is dominated by `is not None`."""
+
+
+class Engine:
+    def __init__(self, trace_bus, profiler):
+        self.trace_bus = trace_bus
+        self.profiler = profiler
+
+    def step(self, flow):
+        trace_bus = self.trace_bus
+        if trace_bus is not None:
+            trace_bus.emit("flow_step", flow_id=flow)
+        profiler = self.profiler
+        if profiler is None:
+            return
+        profiler.add("step", 0.0)

@@ -448,6 +448,21 @@ class TestAnalyzeCli:
         assert rc == 0
         assert "verified clean" in capsys.readouterr().out
 
+    def test_miscomposed_scenario_exits_zero_without_strict(self, capsys):
+        # Findings gate the exit status only under --strict; the default
+        # exits 0 so CI can merge analyze+lint reports before gating.
+        rc = main(
+            [
+                "analyze",
+                str(SCENARIOS / "miscomposed.json"),
+                "--fail-link",
+                "s2",
+                "s3",
+            ]
+        )
+        assert rc == 0
+        assert "blackhole" in capsys.readouterr().out
+
     def test_miscomposed_scenario_exits_nonzero(self, tmp_path, capsys):
         out = str(tmp_path / "report.json")
         rc = main(
@@ -459,6 +474,7 @@ class TestAnalyzeCli:
                 "s3",
                 "--json",
                 out,
+                "--strict",
             ]
         )
         assert rc == 1

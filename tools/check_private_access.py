@@ -1,128 +1,41 @@
 #!/usr/bin/env python
-"""Lint: no module may reach into another module's ``_``-private members.
+"""Deprecation shim: the private-access checker now lives in the lint
+framework as rules PRIV001/PRIV002.
 
-The observation API redesign promoted every cross-module touch point to
-a public name (``ControlChannel.port_stats``, ``FlowEntry.seq``,
-``reset_flow_ids`` ...); this checker keeps it that way.  It walks every
-module under ``src/repro`` and reports:
+Prefer::
 
-* ``obj._name`` attribute access where ``obj`` is anything but the
-  literal ``self`` or ``cls`` — the static over-approximation of
-  "another module's private member".  Same-class access through another
-  instance (``other._seq`` in ``__lt__``) is rare and legitimate; mark
-  those lines with a ``# private-ok`` comment to suppress.
-* ``from x import _name`` — importing a private name is cross-module by
-  definition (relative imports of private *sibling modules* inside one
-  package are allowed).
+    python -m repro lint src/repro --select PRIV --strict
 
-Dunder attributes (``__dict__``) and the bare ``_`` placeholder are
-ignored.  Exit status is the number of offending files (0 = clean).
-
-Usage::
-
-    python tools/check_private_access.py [ROOT ...]   # default: src/repro
+This wrapper keeps the historical contract for existing callers — walk
+the given roots (default ``src/repro``), print one line per violation,
+and exit with the number of offending *files* (0 = clean).  The
+``# private-ok`` suppression comment is still honored by the rules.
 """
 
 from __future__ import annotations
 
-import ast
 import os
 import sys
-from typing import Iterator, List, Tuple
-
-SUPPRESS_MARKER = "private-ok"
-
-#: (receiver name, attribute) pairs that are documented APIs despite the
-#: leading underscore — not another *repro* module's private member.
-ALLOWED = {("os", "_exit")}
-
-
-def _is_private(name: str) -> bool:
-    return (
-        name.startswith("_")
-        and name != "_"
-        and not (name.startswith("__") and name.endswith("__"))
-    )
-
-
-def _iter_py_files(root: str) -> Iterator[str]:
-    if os.path.isfile(root):
-        yield root
-        return
-    for dirpath, dirnames, filenames in os.walk(root):
-        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
-        for filename in sorted(filenames):
-            if filename.endswith(".py"):
-                yield os.path.join(dirpath, filename)
-
-
-def check_file(path: str) -> List[Tuple[int, str]]:
-    """All private-access violations in one file as (line, message)."""
-    with open(path) as handle:
-        source = handle.read()
-    tree = ast.parse(source, filename=path)
-    lines = source.splitlines()
-
-    def suppressed(lineno: int) -> bool:
-        return (
-            0 < lineno <= len(lines)
-            and SUPPRESS_MARKER in lines[lineno - 1]
-        )
-
-    violations: List[Tuple[int, str]] = []
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Attribute) and _is_private(node.attr):
-            value = node.value
-            if isinstance(value, ast.Name) and value.id in ("self", "cls"):
-                continue
-            if (
-                isinstance(value, ast.Name)
-                and (value.id, node.attr) in ALLOWED
-            ):
-                continue
-            if suppressed(node.lineno):
-                continue
-            receiver = (
-                value.id if isinstance(value, ast.Name) else
-                type(value).__name__.lower()
-            )
-            violations.append(
-                (
-                    node.lineno,
-                    f"private attribute access: {receiver}.{node.attr}",
-                )
-            )
-        elif isinstance(node, ast.ImportFrom):
-            for alias in node.names:
-                if _is_private(alias.name) and not suppressed(node.lineno):
-                    module = node.module or "." * node.level
-                    violations.append(
-                        (
-                            node.lineno,
-                            f"private import: from {module} "
-                            f"import {alias.name}",
-                        )
-                    )
-    return violations
+from typing import List
 
 
 def main(argv: List[str]) -> int:
+    sys.path.insert(
+        0,
+        os.path.join(os.path.dirname(os.path.dirname(__file__)), "src"),
+    )
+    from repro.lint import run_lint
+
     roots = argv or [os.path.join("src", "repro")]
-    bad_files = 0
-    total = 0
-    for root in roots:
-        for path in _iter_py_files(root):
-            violations = check_file(path)
-            if violations:
-                bad_files += 1
-                total += len(violations)
-                for lineno, message in violations:
-                    print(f"{path}:{lineno}: {message}")
-    if total:
+    report = run_lint(roots, select=["PRIV"])
+    bad_files = len({f.file for f in report.findings})
+    for finding in report.sorted_findings():
+        print(f"{finding.file}:{finding.line}: {finding.message}")
+    if report.findings:
         print(
-            f"\n{total} private-access violation(s) in {bad_files} file(s); "
-            f"promote the member to a public name or, for same-class "
-            f"access, append a '# {SUPPRESS_MARKER}' comment.",
+            f"\n{len(report.findings)} private-access violation(s) in "
+            f"{bad_files} file(s); promote the member to a public name "
+            f"or, for same-class access, append a '# private-ok' comment.",
             file=sys.stderr,
         )
     return bad_files
