@@ -5,8 +5,19 @@
 install:
 	pip install -e . || python setup.py develop
 
+# With pytest-cov available (CI installs the dev extras) the suite runs
+# under coverage and tools/check_coverage.py enforces the floor on
+# src/repro/hybrid/; without it (the sandboxed test image) the suite
+# runs plain so `make test` never depends on an uninstalled plugin.
 test:
-	pytest tests/
+	@if python -c "import pytest_cov" >/dev/null 2>&1; then \
+		pytest tests/ --cov=repro --cov-report=term \
+			--cov-report=json:coverage.json && \
+		python tools/check_coverage.py coverage.json; \
+	else \
+		echo "pytest-cov not installed; running without coverage"; \
+		pytest tests/; \
+	fi
 
 # lint/typecheck degrade to a notice when the tool is not installed
 # (the sandboxed test image ships the runtime deps only; CI installs
@@ -63,5 +74,5 @@ examples:
 
 clean:
 	rm -rf .pytest_cache .hypothesis .benchmarks .sweep-smoke
-	rm -f lint.sarif
+	rm -f lint.sarif .coverage coverage.json coverage.xml
 	find . -name __pycache__ -type d -exec rm -rf {} +

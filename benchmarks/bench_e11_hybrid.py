@@ -1,0 +1,163 @@
+"""E11: hybrid co-simulation accuracy and speed against pure pktsim.
+
+The hybrid engine's pitch is packet-level fidelity for the flows that
+matter at flow-level cost for the rest.  This experiment quantifies
+both halves on the capped E3 star-crossload scenario: the top-2
+highest-demand (elastic) flows run as packets inside CBR cross-traffic
+that stays fluid, and the gate is
+
+* foreground FCT mean relative error <= 10% of the pure packet-level
+  run, and
+* >= 2x wall-clock speedup over pure pktsim (best-of-N walls).
+
+Runs both as a pytest benchmark (``make bench``) and as a standalone
+CI smoke gate::
+
+    python -m benchmarks.bench_e11_hybrid
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import Horse, HorseConfig
+from repro.flowsim import Flow
+from repro.net.generators import single_switch
+from repro.openflow.headers import tcp_flow, udp_flow
+from repro.runtime.scenario import reset_id_counters
+from repro.stats import mean_relative_error
+
+from .harness import record, rows, write_table
+
+HORIZON = 40.0
+FCT_ERROR_LIMIT = 0.10
+SPEEDUP_LIMIT = 2.0
+ROUNDS = 3
+
+#: (src, dst, demand_bps, size_bytes or None, duration_s or None, elastic)
+WORKLOAD = [
+    # CBR cross-traffic loading h2's and h1's access links (background
+    # under top:2 — lower demand than the elastic flows).
+    ("h1", "h2", 4e6, None, 8.0, False),
+    ("h3", "h2", 3e6, None, 8.0, False),
+    ("h4", "h1", 2e6, None, 8.0, False),
+    ("h5", "h2", 2e6, None, 8.0, False),
+    # The elastic foreground candidates whose FCTs are compared.
+    ("h3", "h4", 8e6, 1_000_000, None, True),
+    ("h2", "h3", 8e6, 500_000, None, True),
+]
+
+
+def _flows(topo):
+    flows = []
+    for i, (src, dst, demand, size, duration, elastic) in enumerate(WORKLOAD):
+        s, d = topo.host(src), topo.host(dst)
+        builder = tcp_flow if elastic else udp_flow
+        start = 0.5 if (elastic and size == 500_000) else 0.0
+        flows.append(
+            Flow(
+                headers=builder(s.ip, d.ip, 1000 + i, 80,
+                                eth_src=s.mac, eth_dst=d.mac),
+                src=src,
+                dst=dst,
+                demand_bps=demand,
+                size_bytes=size,
+                duration_s=duration,
+                start_time=start,
+                elastic=elastic,
+            )
+        )
+    return flows
+
+
+def _run(engine, **config_kw):
+    reset_id_counters()
+    topo = single_switch(5, capacity_bps=10e6)
+    horse = Horse(
+        topo,
+        policies={"forwarding": {"mode": "shortest-path", "match_on": "ip_dst"}},
+        config=HorseConfig(engine=engine, **config_kw),
+    )
+    flows = _flows(topo)
+    horse.submit_flows(flows)
+    start = time.perf_counter()
+    result = horse.run(until=HORIZON)
+    wall = time.perf_counter() - start
+    return flows, result, wall
+
+
+def _foreground_fcts(flows):
+    return {
+        f.flow_id: f.flow_completion_time
+        for f in flows
+        if f.elastic and f.flow_completion_time is not None
+    }
+
+
+def run_e11() -> dict:
+    """One full comparison; returns the measured row (also recorded)."""
+    pkt_walls, hyb_walls = [], []
+    for _ in range(ROUNDS):
+        pkt_flows, pkt_result, wall = _run("packet")
+        pkt_walls.append(wall)
+    for _ in range(ROUNDS):
+        hyb_flows, hyb_result, wall = _run("hybrid", hybrid_select="top:2")
+        hyb_walls.append(wall)
+
+    fct_pkt = _foreground_fcts(pkt_flows)
+    fct_hyb = _foreground_fcts(hyb_flows)
+    assert set(fct_pkt) == set(fct_hyb) and len(fct_pkt) == 2, (
+        fct_pkt, fct_hyb,
+    )
+    fct_err = mean_relative_error(fct_hyb, fct_pkt)
+    speedup = min(pkt_walls) / min(hyb_walls)
+    row = {
+        "foreground_flows": len(fct_hyb),
+        "fct_err": round(fct_err, 4),
+        "pkt_events": pkt_result.events,
+        "hybrid_events": hyb_result.events,
+        "event_ratio": round(pkt_result.events / hyb_result.events, 2),
+        "pkt_wall_s": round(min(pkt_walls), 4),
+        "hybrid_wall_s": round(min(hyb_walls), 4),
+        "speedup": round(speedup, 2),
+    }
+    record("E11", row)
+    return row
+
+
+def bench_e11_hybrid_accuracy_and_speed(benchmark):
+    row = benchmark.pedantic(run_e11, rounds=1, iterations=1)
+    assert row["fct_err"] <= FCT_ERROR_LIMIT, row
+    assert row["speedup"] >= SPEEDUP_LIMIT, row
+
+
+def bench_e11_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    write_table("E11", "hybrid vs pure pktsim: foreground FCT and wall clock")
+    assert rows("E11")
+
+
+def main() -> int:
+    row = run_e11()
+    print(f"E11 hybrid gate: fct_err={row['fct_err']} "
+          f"(limit {FCT_ERROR_LIMIT}), speedup={row['speedup']}x "
+          f"(limit {SPEEDUP_LIMIT}x), "
+          f"events {row['pkt_events']} -> {row['hybrid_events']}")
+    failures = []
+    if row["fct_err"] > FCT_ERROR_LIMIT:
+        failures.append(
+            f"foreground FCT error {row['fct_err']} > {FCT_ERROR_LIMIT}"
+        )
+    if row["speedup"] < SPEEDUP_LIMIT:
+        failures.append(f"speedup {row['speedup']}x < {SPEEDUP_LIMIT}x")
+    if failures:
+        for failure in failures:
+            print(f"E11 FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("E11 hybrid gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,7 +37,7 @@ from .runtime.scenario import (
     build_traffic as _build_traffic,
     reset_id_counters,
 )
-from .stats.export import flows_to_csv, result_to_json, summary_text
+from .stats.export import flows_to_csv, result_to_json, run_digest, summary_text
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -73,6 +73,12 @@ def cmd_run(args: argparse.Namespace) -> int:
             runtime_overrides["trace_path"] = args.trace
         if args.profile:
             runtime_overrides["profile"] = True
+        if args.hybrid_select:
+            # Selecting a foreground implies the hybrid engine.
+            scenario["engine"] = "hybrid"
+            scenario["hybrid_select"] = args.hybrid_select
+        if args.hybrid_sync_interval:
+            scenario["hybrid_sync_interval_s"] = args.hybrid_sync_interval
         if runtime_overrides:
             runtime = dict(scenario.get("runtime") or {})
             runtime.update(runtime_overrides)
@@ -86,6 +92,34 @@ def cmd_run(args: argparse.Namespace) -> int:
             horse.checkpoint(args.checkpoint)
             print(f"wrote checkpoint to {args.checkpoint}")
     print(summary_text(result))
+    if args.check_digest:
+        digest = run_digest(result)
+        expected = args.check_digest
+        if expected == "@golden":
+            if not args.scenario:
+                raise ExperimentError(
+                    "--check-digest without a value needs a scenario file "
+                    "(golden digests are looked up next to it)"
+                )
+            import os
+
+            golden_path = os.path.join(
+                os.path.dirname(os.path.abspath(args.scenario)),
+                "GOLDEN_DIGESTS.json",
+            )
+            with open(golden_path) as handle:
+                goldens = json.load(handle)
+            key = os.path.basename(args.scenario)
+            if key not in goldens:
+                raise ExperimentError(
+                    f"no golden digest for {key!r} in {golden_path}"
+                )
+            expected = goldens[key]
+        if digest != expected:
+            print(f"digest MISMATCH: got {digest}, expected {expected}",
+                  file=sys.stderr)
+            return 3
+        print(f"digest OK: {digest}")
     if args.flows_csv:
         rows = flows_to_csv(result, args.flows_csv)
         print(f"wrote {rows} flow records to {args.flows_csv}")
@@ -365,6 +399,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="account per-phase wall clock (reported in engine_stats)",
+    )
+    run_p.add_argument(
+        "--hybrid-select",
+        metavar="SPEC",
+        help="run selected flows at packet granularity (hybrid engine): "
+        "none, all, top:K, or match:field=value[,...]",
+    )
+    run_p.add_argument(
+        "--hybrid-sync-interval",
+        type=float,
+        metavar="SECONDS",
+        help="hybrid foreground/background coupling cadence",
+    )
+    run_p.add_argument(
+        "--check-digest",
+        nargs="?",
+        const="@golden",
+        metavar="SHA256",
+        help="verify the run's content digest: against the given value, "
+        "or (with no value) against GOLDEN_DIGESTS.json next to the "
+        "scenario file; mismatch exits 3",
     )
     run_p.set_defaults(func=cmd_run)
 

@@ -15,8 +15,10 @@ class HorseConfig:
     Attributes
     ----------
     engine:
-        ``"flow"`` (Horse's flow-level abstraction, default) or
-        ``"packet"`` (the per-packet baseline).
+        ``"flow"`` (Horse's flow-level abstraction, default),
+        ``"packet"`` (the per-packet baseline), or ``"hybrid"``
+        (selected flows at packet granularity inside flow-level
+        background traffic; see :mod:`repro.hybrid`).
     seed:
         Master seed for every stochastic component.
     control_latency_s:
@@ -61,6 +63,13 @@ class HorseConfig:
         Enable per-phase wall-clock profiling; the phase breakdown is
         reported under ``engine_stats["profile"]`` (wall-clock content —
         leave off for byte-compared reports).
+    hybrid_select:
+        Hybrid engine only: foreground selection spec (``none``,
+        ``all``, ``top:K``, or ``match:field=value[,...]``; see
+        :class:`repro.hybrid.SelectionPolicy`).
+    hybrid_sync_interval_s:
+        Hybrid engine only: cadence of the foreground/background
+        coupling exchange (seconds of simulated time).
     checkpoint_path / checkpoint_interval_s:
         When both are set, the run checkpoints its complete state to
         ``checkpoint_path`` every ``checkpoint_interval_s`` simulated
@@ -87,21 +96,31 @@ class HorseConfig:
     entry_expiry_interval_s: Optional[float] = None
     mean_packet_bytes: int = 1000
     max_hops: int = 64
+    hybrid_select: str = "none"
+    hybrid_sync_interval_s: float = 0.05
     trace_path: Optional[str] = None
     profile: bool = False
     checkpoint_path: Optional[str] = None
     checkpoint_interval_s: Optional[float] = None
 
     def __post_init__(self) -> None:
-        if self.engine not in ("flow", "packet"):
+        if self.engine not in ("flow", "packet", "hybrid"):
             raise ExperimentError(
-                f"engine must be 'flow' or 'packet', got {self.engine!r}"
+                f"engine must be 'flow', 'packet', or 'hybrid', got {self.engine!r}"
             )
         if self.solver not in ("incremental", "full", "vector"):
             raise ExperimentError(
                 "solver must be 'incremental', 'full', or 'vector', "
                 f"got {self.solver!r}"
             )
+        if self.engine == "hybrid":
+            if self.resolved_solver() == "vector":
+                raise ExperimentError(
+                    "hybrid engine requires an indexed solver "
+                    "(solver='incremental' or 'full'), not 'vector'"
+                )
+            if self.hybrid_sync_interval_s <= 0:
+                raise ExperimentError("hybrid_sync_interval_s must be > 0")
         if self.monitor_mode not in ("poll", "push"):
             raise ExperimentError(
                 f"monitor_mode must be 'poll' or 'push', got {self.monitor_mode!r}"

@@ -45,7 +45,7 @@ import dataclasses
 import logging
 import time as _time
 from collections import deque
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -197,6 +197,15 @@ class FlowLevelEngine:
         self._dir_index: Dict[LinkDirection, int] = {}
         self._dir_list: List[LinkDirection] = []
         self._dir_caps = np.zeros(64)
+        # External demands (hybrid foreground coupling): opaque key ->
+        # registered direction indices / last solved rate, plus the
+        # per-direction share of ``allocated_bps`` owed to externals so
+        # ``background_load`` can report engine-owned load alone.
+        self._external_links: Dict[Hashable, List[int]] = {}
+        self._external_rates: Dict[Hashable, float] = {}
+        self._external_on_dir: Dict[int, float] = {}
+        # Probe walks are observational: no packet-ins, no controller.
+        self._probing = False
         # Per-flow cached solver inputs (rebuilt on route changes).
         self._flow_links: Dict[int, List[int]] = {}
         self._flow_eff_demand: Dict[int, float] = {}
@@ -325,6 +334,75 @@ class FlowLevelEngine:
     def finish(self) -> None:
         """Accrue statistics up to the current instant (call after run)."""
         self.sync_statistics()
+
+    # ------------------------------------------------------------------
+    # External demands (hybrid foreground coupling)
+    # ------------------------------------------------------------------
+    def set_external_demand(
+        self,
+        key: Hashable,
+        demand_bps: float,
+        directions: Iterable[LinkDirection],
+        pinned: bool = False,
+        weight: float = 1.0,
+    ) -> None:
+        """Register (or update) a demand that competes for bandwidth but
+        is not a flow this engine moves — e.g. a packet-level foreground
+        flow in the hybrid engine.  ``pinned`` demands are granted off
+        the top before max-min filling (inelastic traffic); unpinned
+        ones share fairly with engine flows.  The solved rate is
+        readable via :meth:`external_rate` after :meth:`recompute_rates`.
+        """
+        if self._solver is None:
+            raise SimulationError(
+                'external demands require an indexed solver '
+                '(solver="vector" is unsupported)'
+            )
+        indices = [
+            self._register_direction(d) for d in directions if d.up
+        ]
+        self._external_links[key] = indices
+        self._solver.upsert(
+            FlowDemand(key, demand_bps, indices, weight=weight, pinned=pinned)
+        )
+
+    def clear_external_demand(self, key: Hashable) -> None:
+        """Drop a previously registered external demand."""
+        if self._external_links.pop(key, None) is None:
+            return
+        self._external_rates.pop(key, None)
+        if self._solver is not None:
+            self._solver.remove(key)
+
+    def external_rate(self, key: Hashable) -> float:
+        """Last solved rate for an external demand (bps; 0.0 unknown)."""
+        return self._external_rates.get(key, 0.0)
+
+    def recompute_rates(self) -> None:
+        """Re-solve rates now (public hook: callers batching external-
+        demand updates invoke this once afterwards)."""
+        self._recompute(set())
+
+    def background_load(self, direction: LinkDirection) -> float:
+        """This engine's own allocated load on a direction (bps),
+        excluding external-demand contributions — the residual-capacity
+        input for hybrid packet queues."""
+        index = self._dir_index.get(direction)
+        if index is None:
+            return 0.0
+        load = direction.allocated_bps - self._external_on_dir.get(index, 0.0)
+        return max(0.0, load)
+
+    def probe_route(self, flow: Flow) -> FlowRoute:
+        """Walk a flow through the current pipelines without side
+        effects: no packet-ins are raised, no state is mutated.  Used by
+        the hybrid engine to discover which links a packet-level
+        foreground flow crosses."""
+        self._probing = True
+        try:
+            return self._walk(flow)
+        finally:
+            self._probing = False
 
     @property
     def active_flows(self) -> List[Flow]:
@@ -740,22 +818,26 @@ class FlowLevelEngine:
         for direction in route.directions:
             if not direction.up:
                 continue
-            index = self._dir_index.get(direction)
-            if index is None:
-                index = len(self._dir_list)
-                self._dir_index[direction] = index
-                self._dir_list.append(direction)
-                if index >= self._dir_caps.size:
-                    grown = np.zeros(self._dir_caps.size * 2)
-                    grown[: self._dir_caps.size] = self._dir_caps
-                    self._dir_caps = grown
-                self._dir_caps[index] = direction.capacity_bps
-            indices.append(index)
+            indices.append(self._register_direction(direction))
         self._flow_links[flow.flow_id] = indices
         demand = self._effective_demand(flow)
         self._flow_eff_demand[flow.flow_id] = demand
         if self._solver is None:
             self._write_slot(flow, demand, indices)
+
+    def _register_direction(self, direction: LinkDirection) -> int:
+        """Index a link direction for the solver, recording capacity."""
+        index = self._dir_index.get(direction)
+        if index is None:
+            index = len(self._dir_list)
+            self._dir_index[direction] = index
+            self._dir_list.append(direction)
+            if index >= self._dir_caps.size:
+                grown = np.zeros(self._dir_caps.size * 2)
+                grown[: self._dir_caps.size] = self._dir_caps
+                self._dir_caps = grown
+            self._dir_caps[index] = direction.capacity_bps
+        return index
 
     # ------------------------------------------------------------------
     # Slot array maintenance
@@ -1027,6 +1109,10 @@ class FlowLevelEngine:
     ) -> Optional[List[int]]:
         """Send a packet-in; returns controller packet-out ports when the
         channel is synchronous, or None when asynchronous/absent."""
+        if self._probing:
+            # Probe walks (see probe_route) must not reach the control
+            # plane or perturb counters.
+            return None
         self.stats["packet_ins"] += 1
         if self.control is None:
             return None
@@ -1104,14 +1190,24 @@ class FlowLevelEngine:
             self._dir_caps, full=self.solver_mode == "full"
         )
         dir_list = self._dir_list
+        external_on_dir = self._external_on_dir
         # Per-direction totals: only links in re-solved components can
         # have moved; zero them and re-add the fresh contributions.
         for index in solver.last_touched_links:
             dir_list[index].allocated_bps = 0.0
+            external_on_dir.pop(index, None)
         flow_links = self._flow_links
+        external_links = self._external_links
         for flow_id, rate in updates.items():
             flow = self.active.get(flow_id)
-            if flow is None:  # pragma: no cover - defensive
+            if flow is None:
+                links = external_links.get(flow_id)
+                if links is None:  # pragma: no cover - defensive
+                    continue
+                self._external_rates[flow_id] = rate
+                for index in links:
+                    dir_list[index].allocated_bps += rate
+                    external_on_dir[index] = external_on_dir.get(index, 0.0) + rate
                 continue
             self._apply_rate(flow, rate, now)
             for index in flow_links.get(flow_id, ()):

@@ -64,9 +64,15 @@ class FlowDemand:
     the solver, so the solver stays decoupled from topology objects.
     ``weight`` scales the flow's share under contention (weighted
     max-min: the "water level" rises per unit weight).
+
+    ``pinned`` flows are granted their full demand *off the top* before
+    progressive filling: their draw is subtracted from the link budgets
+    and only the remainder is shared max-min among the elastic flows.
+    This models inelastic traffic (e.g. packet-level CBR foreground in
+    the hybrid engine) that does not back off under contention.
     """
 
-    __slots__ = ("flow_id", "demand_bps", "links", "weight")
+    __slots__ = ("flow_id", "demand_bps", "links", "weight", "pinned")
 
     def __init__(
         self,
@@ -74,6 +80,7 @@ class FlowDemand:
         demand_bps: float,
         links: Sequence[Hashable],
         weight: float = 1.0,
+        pinned: bool = False,
     ) -> None:
         if demand_bps < 0:
             raise ValueError(f"demand must be >= 0, got {demand_bps}")
@@ -82,6 +89,7 @@ class FlowDemand:
         self.flow_id = flow_id
         self.demand_bps = float(demand_bps)
         self.weight = float(weight)
+        self.pinned = bool(pinned)
         # A flood-replicated flow may cross the same direction once only;
         # de-duplicate while preserving order for determinism.
         seen: Set[Hashable] = set()
@@ -102,6 +110,7 @@ class FlowDemand:
         return (
             self.demand_bps == other.demand_bps
             and self.weight == other.weight
+            and self.pinned == other.pinned
             and self.links == other.links
         )
 
@@ -157,9 +166,15 @@ def _solve_component_scalar(
     """
     alloc: Dict[Hashable, float] = {}
     active: List[FlowDemand] = []
+    pinned_flows: List[FlowDemand] = []
     for flow in flows:
         if flow.is_free():
             alloc[flow.flow_id] = flow.demand_bps
+        elif flow.pinned:
+            # Pinned flows take their demand off the top; the elastic
+            # flows below share whatever budget remains.
+            alloc[flow.flow_id] = flow.demand_bps
+            pinned_flows.append(flow)
         else:
             alloc[flow.flow_id] = 0.0
             active.append(flow)
@@ -179,6 +194,18 @@ def _solve_component_scalar(
                 sat_slack[link] = saturation_eps(available[link])
                 members[link] = []
             members[link].append(index)
+
+    if pinned_flows:
+        # Accumulate the pinned draw per link, then subtract once with a
+        # floor at zero — the same accumulation order and arithmetic as
+        # the vectorized kernel, keeping the two paths bitwise-identical.
+        pinned_draw: Dict[Hashable, float] = {}
+        for flow in pinned_flows:
+            for link in flow.links:
+                if link in available:
+                    pinned_draw[link] = pinned_draw.get(link, 0.0) + flow.demand_bps
+        for link, draw in pinned_draw.items():
+            available[link] = max(0.0, available[link] - draw)
 
     frozen = [False] * len(active)
     remaining = len(active)
@@ -246,9 +273,11 @@ def _solve_component_arrays(
     link_of: List[int] = []
     demand = np.empty(len(flows))
     weight = np.empty(len(flows))
+    pinned = np.zeros(len(flows), dtype=bool)
     for i, flow in enumerate(flows):
         demand[i] = flow.demand_bps
         weight[i] = flow.weight
+        pinned[i] = flow.pinned
         for link in flow.links:
             j = link_index.get(link)
             if j is None:
@@ -268,6 +297,7 @@ def _solve_component_arrays(
         np.asarray(flow_of, dtype=np.intp),
         np.asarray(link_of, dtype=np.intp),
         weight=weight,
+        pinned=pinned if pinned.any() else None,
     )
     return {flow.flow_id: float(alloc[i]) for i, flow in enumerate(flows)}
 
@@ -338,6 +368,7 @@ def solve_arrays(
     flow_of: np.ndarray,
     link_of: np.ndarray,
     weight: np.ndarray = None,
+    pinned: np.ndarray = None,
 ) -> np.ndarray:
     """Vectorized progressive filling over a flow-link incidence list.
 
@@ -350,6 +381,10 @@ def solve_arrays(
     flow_of / link_of:
         Parallel arrays of the incidence pairs: entry k says flow
         ``flow_of[k]`` crosses link ``link_of[k]``.
+    pinned:
+        Optional boolean mask, shape (F,).  Pinned flows receive their
+        demand outright; their draw is removed from the link budgets
+        (floored at zero) before progressive filling starts.
 
     Returns
     -------
@@ -380,6 +415,21 @@ def solve_arrays(
     free = ~has_link | (demand <= EPSILON_BPS)
     alloc[free] = demand[free]
     frozen[free] = True
+    if pinned is not None:
+        # Free flows never draw budget even when marked pinned (matches
+        # the scalar kernel, where is_free() takes precedence).
+        pinned = pinned & ~free
+    if pinned is not None and pinned.any():
+        alloc[pinned] = demand[pinned]
+        frozen[pinned] = True
+        if flow_of.size:
+            pin_draw = np.bincount(
+                link_of,
+                weights=np.where(pinned[flow_of], demand[flow_of], 0.0),
+                minlength=num_links,
+            )
+            avail -= pin_draw
+            np.clip(avail, 0.0, None, out=avail)
     # Each iteration either saturates a link or freezes every flow whose
     # remaining headroom is below the current fair increment (in bulk),
     # so iterations are bounded by links + demand "plateaus", not flows.

@@ -1,0 +1,11 @@
+"""Hybrid flow/packet co-simulation.
+
+Operator-selected *foreground* flows run at packet granularity inside
+flow-level *background* traffic on the same kernel and clock.  See
+:mod:`repro.hybrid.engine` for the coupling model.
+"""
+
+from .engine import HybridEngine
+from .selection import SelectionPolicy
+
+__all__ = ["HybridEngine", "SelectionPolicy"]

@@ -1,0 +1,116 @@
+"""Foreground selection policies for the hybrid engine.
+
+A selection spec decides which submitted flows run at packet
+granularity (the *foreground*) while the rest stay in the fluid model.
+Specs are plain strings so they travel through scenario JSON and the
+CLI unchanged:
+
+``none``
+    No foreground; the hybrid engine degrades to pure flow-level.
+``all``
+    Every flow is foreground (pure packet-level with the coupler on).
+``top:K``
+    The K highest-demand flows (ties broken by lower flow id).  Needs
+    the full submitted set, so classification happens at run start;
+    flows submitted later join the foreground when their demand
+    exceeds the finalized threshold.
+``match:field=value[,field=value...]``
+    Flows whose headers (or ``src``/``dst`` host names) match every
+    given field.  Values compare against ``str(field value)``, so
+    ``match:tp_dst=80`` and ``match:ip_dst=10.0.0.2`` both work.
+
+The parsed policy is plain data (no closures), so hybrid checkpoints
+stay picklable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from ..errors import SimulationError
+from ..flowsim.flow import Flow
+from ..openflow.headers import HeaderFields
+
+#: Header fields a match spec may reference, plus the two pseudo-fields
+#: resolved against the flow itself rather than its headers.
+_MATCH_FIELDS = tuple(f.name for f in dataclasses.fields(HeaderFields))
+_PSEUDO_FIELDS = ("src", "dst")
+
+
+class SelectionPolicy:
+    """Parsed foreground-selection spec (picklable plain data)."""
+
+    __slots__ = ("spec", "kind", "top_k", "fields")
+
+    def __init__(self, spec: Optional[str]) -> None:
+        self.spec = spec if spec else "none"
+        self.top_k = 0
+        self.fields: Tuple[Tuple[str, str], ...] = ()
+        text = self.spec.strip()
+        if text in ("none", "all"):
+            self.kind = text
+        elif text.startswith("top:"):
+            self.kind = "top"
+            try:
+                self.top_k = int(text[len("top:"):])
+            except ValueError:
+                raise SimulationError(f"bad top-K selection spec {spec!r}") from None
+            if self.top_k < 0:
+                raise SimulationError(f"top-K must be >= 0, got {self.top_k}")
+        elif text.startswith("match:"):
+            self.kind = "match"
+            pairs: List[Tuple[str, str]] = []
+            for clause in text[len("match:"):].split(","):
+                field, sep, value = clause.partition("=")
+                field = field.strip()
+                if not sep or not field or not value:
+                    raise SimulationError(
+                        f"bad match clause {clause!r} in selection spec {spec!r}"
+                    )
+                if field not in _MATCH_FIELDS and field not in _PSEUDO_FIELDS:
+                    raise SimulationError(
+                        f"unknown match field {field!r}; expected one of "
+                        f"{_MATCH_FIELDS + _PSEUDO_FIELDS}"
+                    )
+                pairs.append((field, value.strip()))
+            if not pairs:
+                raise SimulationError(f"empty match selection spec {spec!r}")
+            self.fields = tuple(pairs)
+        else:
+            raise SimulationError(
+                f"unknown selection spec {spec!r}; expected none, all, "
+                f"top:K, or match:field=value[,...]"
+            )
+
+    @property
+    def deferred(self) -> bool:
+        """True when classification needs the full submitted set."""
+        return self.kind == "top"
+
+    def matches(self, flow: Flow) -> bool:
+        """Immediate (non-deferred) classification of one flow."""
+        if self.kind == "none":
+            return False
+        if self.kind == "all":
+            return True
+        if self.kind == "match":
+            for field, want in self.fields:
+                if field in _PSEUDO_FIELDS:
+                    actual = getattr(flow, field)
+                else:
+                    actual = getattr(flow.headers, field)
+                if actual is None or str(actual) != want:
+                    return False
+            return True
+        raise SimulationError(
+            f"selection {self.spec!r} is deferred; use pick_top()"
+        )
+
+    def pick_top(self, flows: List[Flow]) -> List[Flow]:
+        """The top-K flows by demand (ties broken by lower flow id)."""
+        ranked = sorted(flows, key=lambda f: (-f.demand_bps, f.flow_id))
+        return ranked[: self.top_k]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SelectionPolicy {self.spec!r}>"

@@ -44,6 +44,10 @@ class PacketLevelEngine:
         Drop-tail depth of every output queue.
     max_hops:
         Hop guard against forwarding loops.
+    capacity_fn:
+        Optional ``(direction) -> bps`` transmit-rate override threaded
+        into every output queue (hybrid residual capacity); None uses
+        each direction's configured capacity.
     """
 
     def __init__(
@@ -54,6 +58,7 @@ class PacketLevelEngine:
         mtu_bytes: int = 1500,
         queue_capacity_packets: int = 100,
         max_hops: int = 64,
+        capacity_fn: Optional[object] = None,
     ) -> None:
         self.sim = sim
         self.topology = topology
@@ -61,6 +66,8 @@ class PacketLevelEngine:
         self.mtu_bytes = mtu_bytes
         self.queue_capacity_packets = queue_capacity_packets
         self.max_hops = max_hops
+        #: Per-direction transmit-rate override passed to new queues.
+        self.capacity_fn = capacity_fn
         self.flows: Dict[int, Flow] = {}
         self.transports: Dict[int, Transport] = {}
         self._queues: Dict[LinkDirection, OutputQueue] = {}
@@ -130,6 +137,7 @@ class PacketLevelEngine:
                 self.queue_capacity_packets,
                 on_arrival=self._on_packet_arrival,
                 on_drop=self._on_congestion_drop,
+                capacity_fn=self.capacity_fn,
             )
             self._queues[direction] = queue
         return queue

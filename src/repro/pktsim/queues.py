@@ -28,6 +28,11 @@ class OutputQueue:
         propagating to the far end.
     on_drop:
         Callback ``(packet, direction)`` for tail drops.
+    capacity_fn:
+        Optional ``(direction) -> bps`` override of the transmit rate,
+        sampled per packet.  The hybrid engine supplies the *residual*
+        capacity (link rate minus flow-level background load) here; when
+        None the direction's configured capacity is used.
     """
 
     __slots__ = (
@@ -36,6 +41,7 @@ class OutputQueue:
         "capacity_packets",
         "on_arrival",
         "on_drop",
+        "capacity_fn",
         "_queue",
         "_busy",
         "enqueued",
@@ -52,6 +58,7 @@ class OutputQueue:
         capacity_packets: int,
         on_arrival: Callable[[Packet, object], None],
         on_drop: Callable[[Packet, LinkDirection], None],
+        capacity_fn: Optional[Callable[[LinkDirection], float]] = None,
     ) -> None:
         if capacity_packets < 1:
             raise ValueError(f"queue capacity must be >= 1, got {capacity_packets}")
@@ -60,6 +67,7 @@ class OutputQueue:
         self.capacity_packets = capacity_packets
         self.on_arrival = on_arrival
         self.on_drop = on_drop
+        self.capacity_fn = capacity_fn
         self._queue: Deque[Packet] = deque()
         self._busy = False
         self.enqueued = 0
@@ -103,17 +111,25 @@ class OutputQueue:
             self._busy = True
             self._busy_since = self.sim.now
         packet = self._queue.popleft()
-        tx_time = packet.size_bytes * 8.0 / self.direction.capacity_bps
-        self.sim.call_in(tx_time, self._on_tx_done, packet)
+        capacity_fn = self.capacity_fn
+        rate = (
+            self.direction.capacity_bps
+            if capacity_fn is None
+            else capacity_fn(self.direction)
+        )
+        tx_time = packet.size_bytes * 8.0 / rate
+        # tx_time rides along with the callback: under a time-varying
+        # residual capacity the rate sampled at completion would differ
+        # from the one the transmission actually used.
+        self.sim.call_in(tx_time, self._on_tx_done, packet, tx_time)
 
-    def _on_tx_done(self, sim: Simulator, packet: Packet) -> None:
+    def _on_tx_done(self, sim: Simulator, packet: Packet, tx_time: float) -> None:
         self.transmitted_bytes += packet.size_bytes
         src_port = self.direction.src_port
         dst_port = self.direction.dst_port
         src_port.tx_packets += 1
         src_port.tx_bytes += packet.size_bytes
         delay = self.direction.delay_s
-        tx_time = packet.size_bytes * 8.0 / self.direction.capacity_bps
         packet.accumulated_delay += delay + tx_time
         packet.hops += 1
         if self.direction.up:

@@ -10,9 +10,11 @@ of where a job executes.
 Schema (the ``runtime`` section is new in this module)::
 
     {
-      "engine": "flow" | "packet",
+      "engine": "flow" | "packet" | "hybrid",
       "solver": "incremental" | "full" | "vector",   # flow engine only
       "route_cache": true,                           # flow engine only
+      "hybrid_select": "none" | "all" | "top:K" | "match:...",  # hybrid only
+      "hybrid_sync_interval_s": 0.05,                # hybrid only
       "seed": 0,
       "until": 60.0,
       "topology": {"kind": "fat-tree", "k": 4} | ... | {"file": "topo.json"},
@@ -87,6 +89,8 @@ def build_config(
         engine=scenario.get("engine", "flow"),
         solver=solver or scenario.get("solver", "incremental"),
         route_cache=scenario.get("route_cache", True),
+        hybrid_select=scenario.get("hybrid_select", "none"),
+        hybrid_sync_interval_s=scenario.get("hybrid_sync_interval_s", 0.05),
         seed=scenario.get("seed", 0),
         link_sample_interval_s=scenario.get("link_sample_interval_s"),
         monitor_interval_s=scenario.get("monitor_interval_s"),

@@ -8,6 +8,7 @@ whole run as a JSON document, and a human-readable one-screen summary.
 from __future__ import annotations
 
 import csv
+import hashlib
 import json
 from typing import IO, TYPE_CHECKING, Union
 
@@ -103,6 +104,23 @@ def result_to_dict(result: "RunResult") -> dict:
         "notes": list(result.notes),
         "flows": [flow_row(flow) for flow in result.flows],
     }
+
+
+def run_digest(result: "RunResult") -> str:
+    """A stable content digest of a run's results.
+
+    SHA-256 over the canonical JSON encoding (sorted keys, no
+    whitespace) of :func:`result_to_dict` with the wall-clock field
+    removed — the only nondeterministic top-level field.  Two runs of
+    the same scenario must produce the same digest; the golden-scenario
+    regression tests and ``repro run --check-digest`` gate on this.
+    Profiling (``profile: true``) embeds wall time in ``engine_stats``
+    and breaks digest stability; leave it off for digested runs.
+    """
+    doc = result_to_dict(result)
+    doc.pop("wall_time_s", None)
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def result_to_json(

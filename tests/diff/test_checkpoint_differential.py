@@ -138,6 +138,47 @@ class TestCheckpointRoundTrip:
         got = _fingerprint(restored, restored.run(until=3.0))
         assert got == want
 
+    def test_hybrid_segmented_round_trip_identical(self, tmp_path):
+        """The hybrid engine's full coupled state — packet queues and
+        transports, solver external demands, sync ticker, selection
+        threshold — survives a pickle + disk round trip bitwise."""
+        scenario = dict(SCENARIO, engine="hybrid", hybrid_select="top:3")
+        plain = _build(scenario)
+        plain.run(until=1.0)
+        want = _fingerprint(plain, plain.run(until=3.0))
+
+        path = str(tmp_path / "hybrid.ckpt")
+        source = _build(scenario)
+        source.run(until=1.0)
+        save_checkpoint(source, path)
+        restored = load_checkpoint(path)
+        assert restored is not source
+        got = _fingerprint(restored, restored.run(until=3.0))
+        assert got == want
+        # The scenario genuinely exercised the coupling, not a
+        # degenerate empty foreground.
+        assert restored.engine.stats["foreground_flows"] == 3
+        assert restored.engine.stats["syncs"] > 0
+
+    def test_hybrid_periodic_checkpoint_is_resumable(self, tmp_path):
+        """A mid-run hybrid snapshot from the periodic ticker resumes
+        into the identical final state in a fresh object graph."""
+        path = str(tmp_path / "hybrid-tick.ckpt")
+        scenario = dict(
+            SCENARIO,
+            engine="hybrid",
+            hybrid_select="top:2",
+            runtime={"checkpoint_path": path, "checkpoint_interval_s": 0.8},
+        )
+        full = _build(scenario)
+        want = _fingerprint(full, full.run(until=3.0))
+        assert os.path.exists(path)
+
+        restored = Horse.restore(path)
+        assert restored.sim.now < 3.0
+        got = _fingerprint(restored, restored.run(until=3.0))
+        assert got == want
+
     def test_restored_run_keeps_checkpointing(self, tmp_path):
         """The pending ticker travels with the snapshot: a restored run
         continues writing checkpoints on the same cadence."""

@@ -2,8 +2,7 @@
 
 import pytest
 
-from repro.flowsim import Flow, FlowLevelEngine, FlowState, Terminal
-from repro.net import IPv4Address
+from repro.flowsim import FlowLevelEngine, FlowState, Terminal
 from repro.openflow import (
     ApplyActions,
     Drop,
@@ -13,25 +12,9 @@ from repro.openflow import (
     MeterInstruction,
     Output,
 )
-from repro.openflow.headers import tcp_flow, udp_flow
 from repro.sim import Simulator
 
-
-def make_flow(topo, src, dst, demand, size=None, duration=None, start=0.0,
-              sport=1000, dport=80, elastic=True):
-    src_h, dst_h = topo.host(src), topo.host(dst)
-    builder = tcp_flow if elastic else udp_flow
-    return Flow(
-        headers=builder(src_h.ip, dst_h.ip, sport, dport,
-                        eth_src=src_h.mac, eth_dst=dst_h.mac),
-        src=src,
-        dst=dst,
-        demand_bps=demand,
-        size_bytes=size,
-        duration_s=duration,
-        start_time=start,
-        elastic=elastic,
-    )
+from workloads import make_flow
 
 
 class TestFluidDynamics:

@@ -1,0 +1,79 @@
+"""Golden-scenario regression tests.
+
+Every shipped example scenario has its run digest pinned in
+examples/scenarios/GOLDEN_DIGESTS.json: sha256 over the canonical run
+JSON with the wall-clock field removed (see
+:func:`repro.stats.export.run_digest`).  A digest change means the
+simulation *dynamics* changed — solver arithmetic, event ordering,
+routing, id assignment — which must be an intentional, explained
+change, never drift.
+
+The digests are also independent of ``PYTHONHASHSEED`` (the CI
+hash-independence matrix runs these same checks under two seeds), so
+they double as an end-to-end determinism gate.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.runtime.scenario import reset_id_counters, run_scenario
+from repro.stats.export import run_digest
+
+SCENARIO_DIR = os.path.join(
+    os.path.dirname(__file__), "..", "examples", "scenarios"
+)
+
+
+def _load(name):
+    with open(os.path.join(SCENARIO_DIR, name)) as handle:
+        return json.load(handle)
+
+
+GOLDEN = {
+    key: value
+    for key, value in _load("GOLDEN_DIGESTS.json").items()
+    if not key.startswith("_")
+}
+
+
+def _scenario_for(name):
+    doc = _load(name)
+    # Sweep specs pin their base scenario's run.
+    return doc["base"] if "base" in doc else doc
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_scenario_matches_golden_digest(name):
+    reset_id_counters()
+    _, result, count = run_scenario(_scenario_for(name))
+    assert count > 0
+    assert run_digest(result) == GOLDEN[name], (
+        f"{name}: run dynamics changed; if intentional, update "
+        "examples/scenarios/GOLDEN_DIGESTS.json with the new digest"
+    )
+
+
+def test_every_runnable_scenario_is_pinned():
+    """New example scenarios must ship with a pinned digest (the
+    deliberately mis-composed analyzer fixture is exempt)."""
+    exempt = {"miscomposed.json"}
+    shipped = {
+        name
+        for name in os.listdir(SCENARIO_DIR)
+        if name.endswith(".json")
+        and name not in exempt
+        and name != "GOLDEN_DIGESTS.json"
+    }
+    # solver_scale_sweep is a large sweep spec, too slow for tier-1.
+    shipped.discard("solver_scale_sweep.json")
+    assert shipped == set(GOLDEN)
+
+
+def test_digest_ignores_wall_clock():
+    reset_id_counters()
+    _, result, _ = run_scenario(_scenario_for("quickstart.json"))
+    before = run_digest(result)
+    result.wall_time_s += 123.0
+    assert run_digest(result) == before

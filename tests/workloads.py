@@ -1,0 +1,29 @@
+"""Shared workload builders for engine tests.
+
+One `make_flow` serves the flow-level, packet-level, and hybrid test
+modules, so all three engines are exercised with identically-built
+flows (same headers, same defaults) — a prerequisite for the
+differential suites under tests/diff/.
+"""
+
+from repro.flowsim import Flow
+from repro.openflow.headers import tcp_flow, udp_flow
+
+
+def make_flow(topo, src, dst, demand, size=None, duration=None, start=0.0,
+              sport=1000, dport=80, elastic=True, weight=1.0):
+    """A flow between two hosts with fully-populated L2-L4 headers."""
+    src_h, dst_h = topo.host(src), topo.host(dst)
+    builder = tcp_flow if elastic else udp_flow
+    return Flow(
+        headers=builder(src_h.ip, dst_h.ip, sport, dport,
+                        eth_src=src_h.mac, eth_dst=dst_h.mac),
+        src=src,
+        dst=dst,
+        demand_bps=demand,
+        size_bytes=size,
+        duration_s=duration,
+        start_time=start,
+        elastic=elastic,
+        weight=weight,
+    )

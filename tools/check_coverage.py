@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Enforce a line-coverage floor on the hybrid engine.
+
+Reads a coverage.py JSON report (``coverage json`` / pytest-cov's
+``--cov-report=json``) and fails if the files under ``src/repro/hybrid/``
+fall below the floor, individually or in aggregate.  The hybrid coupler
+is gated harder than the rest of the tree because its correctness
+contract is differential (bitwise identity at the select="none" /
+select="all" edges) — uncovered coupling paths are exactly where that
+contract silently erodes.
+
+Usage::
+
+    python tools/check_coverage.py [coverage.json] [--floor 85]
+"""
+
+import argparse
+import json
+import sys
+
+GATED_PREFIX = "src/repro/hybrid/"
+DEFAULT_FLOOR = 85.0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", nargs="?", default="coverage.json")
+    parser.add_argument("--floor", type=float, default=DEFAULT_FLOOR,
+                        help="minimum percent covered (default %(default)s)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.report) as handle:
+            report = json.load(handle)
+    except OSError as exc:
+        print(f"cannot read coverage report: {exc}", file=sys.stderr)
+        return 2
+
+    gated = {
+        path: data["summary"]
+        for path, data in report.get("files", {}).items()
+        if GATED_PREFIX in path.replace("\\", "/")
+        or "repro/hybrid/" in path.replace("\\", "/")
+    }
+    if not gated:
+        print(f"no files matching {GATED_PREFIX} in {args.report}",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    covered = missed = 0
+    for path in sorted(gated):
+        summary = gated[path]
+        covered += summary["covered_lines"]
+        missed += summary["missing_lines"]
+        pct = summary["percent_covered"]
+        status = "ok" if pct >= args.floor else "LOW"
+        print(f"  {pct:6.1f}%  {status:3}  {path}")
+        if pct < args.floor:
+            failures.append(f"{path}: {pct:.1f}% < {args.floor:.0f}%")
+
+    total = covered + missed
+    aggregate = 100.0 * covered / total if total else 0.0
+    print(f"hybrid aggregate: {aggregate:.1f}% "
+          f"({covered}/{total} lines, floor {args.floor:.0f}%)")
+    if aggregate < args.floor:
+        failures.append(f"aggregate {aggregate:.1f}% < {args.floor:.0f}%")
+
+    if failures:
+        for failure in failures:
+            print(f"coverage floor violated: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
