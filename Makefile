@@ -1,6 +1,6 @@
 # Convenience targets for the Horse reproduction.
 
-.PHONY: install test lint lint-sim typecheck check bench bench-quick telemetry-gate sweep-smoke examples clean
+.PHONY: install test lint lint-sim typecheck check bench bench-quick telemetry-gate sweep-smoke wire-smoke examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -11,9 +11,10 @@ install:
 # runs plain so `make test` never depends on an uninstalled plugin.
 test:
 	@if python -c "import pytest_cov" >/dev/null 2>&1; then \
+		mkdir -p build && \
 		pytest tests/ --cov=repro --cov-report=term \
-			--cov-report=json:coverage.json && \
-		python tools/check_coverage.py coverage.json; \
+			--cov-report=json:build/coverage.json && \
+		python tools/check_coverage.py build/coverage.json; \
 	else \
 		echo "pytest-cov not installed; running without coverage"; \
 		pytest tests/; \
@@ -33,9 +34,10 @@ lint:
 # telemetry-guard / private-access / handler hygiene): must stay clean
 # against the shipped (empty) baseline.
 lint-sim:
+	mkdir -p build
 	PYTHONPATH=src python -m repro lint src/repro \
 		--baseline tools/lint-baseline.json --format sarif \
-		--output lint.sarif --strict
+		--output build/lint.sarif --strict
 
 typecheck:
 	@command -v mypy >/dev/null 2>&1 \
@@ -66,6 +68,12 @@ sweep-smoke:
 		assert not r['summary']['failed'], r['summary']; \
 		print('sweep-smoke: crash retried, 4/4 jobs completed')"
 
+# External control-plane smoke: `repro serve` + `repro wire-client` in
+# separate processes over a real TCP socket; asserts clean shutdown
+# (wire.active_connections 0) and full delivery.
+wire-smoke:
+	python tools/wire_smoke.py
+
 examples:
 	@for script in examples/*.py; do \
 		echo "== $$script"; \
@@ -73,6 +81,6 @@ examples:
 	done
 
 clean:
-	rm -rf .pytest_cache .hypothesis .benchmarks .sweep-smoke
+	rm -rf .pytest_cache .hypothesis .benchmarks .sweep-smoke build
 	rm -f lint.sarif .coverage coverage.json coverage.xml
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -56,7 +56,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         if args.profile:
             horse.telemetry.enable_profiling()
         until = args.until if args.until is not None else horse.last_until
-        result = horse.run(until=until)
+        try:
+            result = horse.run(until=until)
+        finally:
+            horse.shutdown_wire()
     else:
         if not args.scenario:
             raise ExperimentError("a scenario file (or --restore) is required")
@@ -79,6 +82,13 @@ def cmd_run(args: argparse.Namespace) -> int:
             scenario["hybrid_select"] = args.hybrid_select
         if args.hybrid_sync_interval:
             scenario["hybrid_sync_interval_s"] = args.hybrid_sync_interval
+        if args.control:
+            scenario["control"] = args.control
+        if args.wire_client:
+            scenario["control"] = "wire"
+            scenario["wire_client"] = args.wire_client
+        if args.wire_listen:
+            runtime_overrides["wire_listen"] = args.wire_listen
         if runtime_overrides:
             runtime = dict(scenario.get("runtime") or {})
             runtime.update(runtime_overrides)
@@ -86,7 +96,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         horse, fabric = build_horse(scenario, solver=args.solver)
         count = _build_traffic(scenario.get("traffic", {}), horse, fabric)
         print(f"scenario: {args.scenario} ({count} flows submitted)")
-        result = horse.run(until=args.until or scenario.get("until"))
+        try:
+            result = horse.run(until=args.until or scenario.get("until"))
+        finally:
+            horse.shutdown_wire()
         if args.checkpoint and not args.checkpoint_interval:
             # No periodic ticker: snapshot the final state explicitly.
             horse.checkpoint(args.checkpoint)
@@ -136,6 +149,79 @@ def cmd_run(args: argparse.Namespace) -> int:
         horse.telemetry.disable_tracing()
         if bus.path:
             print(f"wrote {emitted + 1} trace records to {bus.path}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run a scenario as an OpenFlow 1.3 datapath agent: listen for an
+    external controller, then simulate against it."""
+    reset_id_counters()
+    with open(args.scenario) as handle:
+        scenario = json.load(handle)
+    scenario["control"] = "wire"
+    scenario.pop("wire_client", None)  # serve = external controller
+    runtime = dict(scenario.get("runtime") or {})
+    if args.listen:
+        runtime["wire_listen"] = args.listen
+    if args.budget:
+        runtime["wire_latency_budget_s"] = args.budget
+    if args.dilation is not None:
+        runtime["wire_dilation"] = args.dilation
+    scenario["runtime"] = runtime
+    horse, fabric = build_horse(scenario, solver=None)
+    count = _build_traffic(scenario.get("traffic", {}), horse, fabric)
+
+    def announce(address):
+        host, port = address
+        print(f"listening on {host}:{port} "
+              f"({len(horse.topology.switches)} datapaths)", flush=True)
+
+    horse.wire.on_listening = announce
+    print(f"scenario: {args.scenario} ({count} flows submitted)", flush=True)
+    try:
+        result = horse.run(until=args.until or scenario.get("until"))
+    finally:
+        horse.shutdown_wire()
+    print(summary_text(result))
+    metrics = horse.telemetry.snapshot()
+    print(f"wire.active_connections "
+          f"{metrics.get('wire.active_connections', 0):g}")
+    if args.json:
+        result_to_json(result, args.json)
+        print(f"wrote run document to {args.json}")
+    return 0
+
+
+def cmd_wire_client(args: argparse.Namespace) -> int:
+    """Run the built-in wire controller against a ``repro serve``."""
+    from .wire import WireControllerClient
+
+    host, _, port = args.address.rpartition(":")
+    if not host:
+        raise ExperimentError(
+            f"address must be 'host:port', got {args.address!r}"
+        )
+    routes = None
+    if args.routes:
+        with open(args.routes) as handle:
+            routes = json.load(handle)
+    client = WireControllerClient(
+        host,
+        int(port),
+        mode=args.mode,
+        routes=routes,
+        connect_timeout_s=args.connect_timeout,
+    )
+    dpids = client.connect()
+    print(f"connected to {args.address}: datapaths {dpids}", flush=True)
+    try:
+        client.serve()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        client.close()
+    for key, value in sorted(client.stats.items()):
+        print(f"client.{key} {value}")
     return 0
 
 
@@ -421,7 +507,79 @@ def build_parser() -> argparse.ArgumentParser:
         "or (with no value) against GOLDEN_DIGESTS.json next to the "
         "scenario file; mismatch exits 3",
     )
+    run_p.add_argument(
+        "--control",
+        choices=["inproc", "wire"],
+        help="control-plane transport (overrides the scenario)",
+    )
+    run_p.add_argument(
+        "--wire-client",
+        choices=["learning", "static"],
+        help="run the built-in wire controller against this run's own "
+        "listener (implies --control wire)",
+    )
+    run_p.add_argument(
+        "--wire-listen",
+        metavar="HOST:PORT",
+        help="wire control listen address (port 0 picks a free port)",
+    )
     run_p.set_defaults(func=cmd_run)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run a scenario as an OpenFlow 1.3 datapath agent for an "
+        "external controller",
+    )
+    serve_p.add_argument("scenario", help="scenario JSON path")
+    serve_p.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        help="listen address (default from the scenario, else 127.0.0.1:0)",
+    )
+    serve_p.add_argument(
+        "--until", type=float, help="stop at this simulated time (seconds)"
+    )
+    serve_p.add_argument(
+        "--budget",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget for controller connect/answers "
+        "(wire_latency_budget_s)",
+    )
+    serve_p.add_argument(
+        "--dilation",
+        type=float,
+        metavar="FACTOR",
+        help="simulated seconds charged per wall second of controller "
+        "thinking time (0 = synchronous)",
+    )
+    serve_p.add_argument("--json", help="write the full run document here")
+    serve_p.set_defaults(func=cmd_serve)
+
+    client_p = sub.add_parser(
+        "wire-client",
+        help="run the built-in wire controller against a repro serve",
+    )
+    client_p.add_argument("address", help="server address, host:port")
+    client_p.add_argument(
+        "--mode",
+        choices=["learning", "static"],
+        default="learning",
+        help="controller behavior (default: learning switch)",
+    )
+    client_p.add_argument(
+        "--routes",
+        metavar="PATH",
+        help="static mode: JSON file with route dicts",
+    )
+    client_p.add_argument(
+        "--connect-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="per-connection handshake timeout",
+    )
+    client_p.set_defaults(func=cmd_wire_client)
 
     trace_p = sub.add_parser(
         "trace", help="record, inspect, or summarize a structured trace"

@@ -42,6 +42,7 @@ from ..openflow.messages import (
 )
 from ..openflow.switch import OpenFlowPipeline
 from ..sim.kernel import Simulator
+from .transport import ControlTransport, InprocTransport
 
 logger = logging.getLogger(__name__)
 
@@ -63,6 +64,11 @@ class ControlChannel:
         One-way control-plane delay.  Zero (default) makes the channel
         synchronous: reactive rule setup completes within the data-plane
         event that triggered it, which is the poster's abstraction.
+    transport:
+        Northbound delivery strategy (see
+        :mod:`repro.control.transport`).  None selects the in-process
+        transport, which is the channel's historical behavior; the wire
+        gateway (:mod:`repro.wire`) plugs in here.
     """
 
     def __init__(
@@ -71,6 +77,7 @@ class ControlChannel:
         topology: Topology,
         controller: Optional[object] = None,
         latency_s: float = 0.0,
+        transport: Optional[ControlTransport] = None,
     ) -> None:
         if latency_s < 0:
             raise ControlPlaneError(f"latency must be >= 0, got {latency_s}")
@@ -96,6 +103,10 @@ class ControlChannel:
         #: Live push-mode counter subscriptions (see
         #: :meth:`subscribe_counters`).
         self.subscriptions: List[CounterSubscription] = []
+        self.transport: ControlTransport = (
+            transport if transport is not None else InprocTransport()
+        )
+        self.transport.bind(self)
         if controller is not None and hasattr(controller, "attach"):
             controller.attach(self)
 
@@ -145,6 +156,26 @@ class ControlChannel:
     def send_all(self, messages) -> List[Optional[Message]]:
         """Send a batch of southbound messages in order."""
         return [self.send(m) for m in messages]
+
+    def apply_southbound(self, message: Message) -> Optional[Message]:
+        """Apply a southbound message immediately and return the reply
+        (stats/barrier) or the ErrorMsg the switch rejected it with.
+
+        Public entry point for transports: the wire gateway decodes
+        frames off a socket and applies them here, from the simulation
+        thread, so pipeline mutation semantics (and the stats counters)
+        are identical whichever transport carried the message.
+        """
+        return self._apply(message)
+
+    def deliver_packet_out(self, message: PacketIn, ports: List[int]) -> None:
+        """Hand an asynchronous packet-out to the data-plane engines.
+
+        Public entry point for transports answering a packet-in after
+        the fact (the wire path when the reply misses the synchronous
+        window).
+        """
+        self._deliver_packet_out(message, ports)
 
     def _apply_async(self, sim: Simulator, message: Message) -> None:
         reply = self._apply(message)
@@ -435,17 +466,12 @@ class ControlChannel:
         """Deliver a packet-in.  Returns the controller's packet-out port
         list when synchronous, else None (handled later)."""
         self.stats["packet_ins"] += 1
-        if self.controller is None:
-            return None
-        if self.latency_s == 0.0:
-            ports = self.controller.on_packet_in(message)
-            if ports:
-                self.stats["packet_outs"] += 1
-            return ports
-        self.sim.call_in(self.latency_s, self._async_packet_in, message)
-        return None
+        ports = self.transport.packet_in(message)
+        if ports:
+            self.stats["packet_outs"] += 1
+        return ports
 
-    def _async_packet_in(self, sim: Simulator, message: PacketIn) -> None:
+    def async_packet_in(self, sim: Simulator, message: PacketIn) -> None:
         """Handle a delayed packet-in; ship any packet-out back to the
         data plane after another channel latency."""
         ports = self.controller.on_packet_in(message)
@@ -468,14 +494,9 @@ class ControlChannel:
                 handler(message, ports)
 
     def deliver_port_status(self, message: PortStatus) -> None:
-        if self.controller is None:
-            return
-        if self.latency_s == 0.0:
-            self.controller.on_port_status(message)
-        else:
-            self.sim.call_in(self.latency_s, self._async_port_status, message)
+        self.transport.port_status(message)
 
-    def _async_port_status(self, sim: Simulator, message: PortStatus) -> None:
+    def async_port_status(self, sim: Simulator, message: PortStatus) -> None:
         self.controller.on_port_status(message)
 
     def deliver_flow_removed_entry(
@@ -487,7 +508,7 @@ class ControlChannel:
         now: float,
     ) -> None:
         """Build and deliver a FlowRemoved from a removed entry."""
-        if self.controller is None:
+        if self.controller is None and not self.transport.external:
             return
         message = FlowRemoved(
             dpid=dpid,
@@ -504,12 +525,9 @@ class ControlChannel:
             packet_count=entry.packet_count,
             byte_count=entry.byte_count,
         )
-        if self.latency_s == 0.0:
-            self.controller.on_flow_removed(message)
-        else:
-            self.sim.call_in(self.latency_s, self._async_flow_removed, message)
+        self.transport.flow_removed(message)
 
-    def _async_flow_removed(self, sim: Simulator, message: FlowRemoved) -> None:
+    def async_flow_removed(self, sim: Simulator, message: FlowRemoved) -> None:
         self.controller.on_flow_removed(message)
 
 

@@ -1,0 +1,104 @@
+"""The control-channel transport seam.
+
+A :class:`~repro.control.channel.ControlChannel` moves northbound events
+(packet-ins, port status, flow removals) to *some* controller.  How they
+get there is the transport's business:
+
+* :class:`InprocTransport` — the poster's abstraction: the controller is
+  a Python object in this process and delivery is a method call (zero
+  simulated latency) or a scheduled kernel event (``latency_s`` > 0).
+* :class:`repro.wire.transport.WireTransport` — the follow-up paper's
+  re-added real connections: events are encoded as OpenFlow 1.3 frames
+  and shipped over TCP to an external controller, with simulated time
+  gated on the wall-clock round trip.
+
+The channel keeps everything that is *channel* semantics — message
+counters, pipeline mutation, engine notification — so a transport swap
+never changes what a southbound message does, only where northbound
+events go and how answers come back.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from ..openflow.messages import FlowRemoved, PacketIn, PortStatus
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .channel import ControlChannel
+
+
+class ControlTransport:
+    """Strategy interface for northbound delivery.
+
+    ``bind`` is called once by the owning channel; the lifecycle hooks
+    are no-ops for in-process transports.
+    """
+
+    channel: "ControlChannel" = None  # set by bind()
+
+    #: True when the controller lives outside this process: northbound
+    #: events must be delivered even though ``channel.controller`` is
+    #: None (the channel skips some message construction otherwise).
+    external = False
+
+    def bind(self, channel: "ControlChannel") -> None:
+        self.channel = channel
+
+    def packet_in(self, message: PacketIn) -> Optional[List[int]]:
+        """Deliver a packet-in; return packet-out ports when the answer
+        is synchronous, else None."""
+        raise NotImplementedError
+
+    def port_status(self, message: PortStatus) -> None:
+        raise NotImplementedError
+
+    def flow_removed(self, message: FlowRemoved) -> None:
+        raise NotImplementedError
+
+    def start(self) -> None:
+        """Bring up external resources (listeners, threads)."""
+
+    def stop(self) -> None:
+        """Tear external resources down."""
+
+
+class InprocTransport(ControlTransport):
+    """Direct method-call delivery to an in-process controller.
+
+    This is byte-for-byte the channel's historical behavior: the
+    dispatch logic (including the deferred bound-method events that keep
+    pending messages picklable) still lives on the channel; the
+    transport only routes to it.
+    """
+
+    def packet_in(self, message: PacketIn) -> Optional[List[int]]:
+        channel = self.channel
+        if channel.controller is None:
+            return None
+        if channel.latency_s == 0.0:
+            return channel.controller.on_packet_in(message)
+        channel.sim.call_in(channel.latency_s, channel.async_packet_in, message)
+        return None
+
+    def port_status(self, message: PortStatus) -> None:
+        channel = self.channel
+        if channel.controller is None:
+            return
+        if channel.latency_s == 0.0:
+            channel.controller.on_port_status(message)
+        else:
+            channel.sim.call_in(
+                channel.latency_s, channel.async_port_status, message
+            )
+
+    def flow_removed(self, message: FlowRemoved) -> None:
+        channel = self.channel
+        if channel.controller is None:
+            return
+        if channel.latency_s == 0.0:
+            channel.controller.on_flow_removed(message)
+        else:
+            channel.sim.call_in(
+                channel.latency_s, channel.async_flow_removed, message
+            )

@@ -70,6 +70,33 @@ class HorseConfig:
     hybrid_sync_interval_s:
         Hybrid engine only: cadence of the foreground/background
         coupling exchange (seconds of simulated time).
+    control:
+        ``"inproc"`` (the poster's in-process controller objects,
+        default) or ``"wire"`` (real OpenFlow 1.3 TCP connections via
+        :mod:`repro.wire`; the follow-up paper's external control
+        plane).  Wire control requires ``control_latency_s == 0`` —
+        latency comes from the wall clock through the time gate — and
+        is incompatible with in-process policies/controllers.
+    wire_listen:
+        Wire control only: ``"host:port"`` to listen on (default
+        ``"127.0.0.1:0"``; port 0 picks a free port).
+    wire_client:
+        Wire control only: None to wait for an external controller, or
+        ``"learning"``/``"static"`` to run the built-in client in a
+        thread against this run's own listener (self-driven loopback).
+    wire_client_routes:
+        Wire control only: route dicts for ``wire_client="static"``.
+    wire_sync_quantum_s:
+        Wire control only: how much simulated time may pass between
+        control-plane synchronization points (see
+        :class:`repro.wire.TimeGate`).
+    wire_latency_budget_s:
+        Wire control only: wall-clock seconds to wait for a controller
+        answer before giving up on it.
+    wire_dilation:
+        Wire control only: simulated seconds charged per wall-clock
+        second of controller thinking time.  0 (default) reproduces the
+        synchronous in-process channel exactly.
     checkpoint_path / checkpoint_interval_s:
         When both are set, the run checkpoints its complete state to
         ``checkpoint_path`` every ``checkpoint_interval_s`` simulated
@@ -102,6 +129,13 @@ class HorseConfig:
     profile: bool = False
     checkpoint_path: Optional[str] = None
     checkpoint_interval_s: Optional[float] = None
+    control: str = "inproc"
+    wire_listen: str = "127.0.0.1:0"
+    wire_client: Optional[str] = None
+    wire_client_routes: Optional[list] = None
+    wire_sync_quantum_s: float = 0.05
+    wire_latency_budget_s: float = 5.0
+    wire_dilation: float = 0.0
 
     def __post_init__(self) -> None:
         if self.engine not in ("flow", "packet", "hybrid"):
@@ -131,6 +165,28 @@ class HorseConfig:
             raise ExperimentError("control latency must be >= 0")
         if self.pipeline_tables < 1:
             raise ExperimentError("need >= 1 pipeline table")
+        if self.control not in ("inproc", "wire"):
+            raise ExperimentError(
+                f"control must be 'inproc' or 'wire', got {self.control!r}"
+            )
+        if self.control == "wire":
+            if self.control_latency_s != 0.0:
+                raise ExperimentError(
+                    "wire control requires control_latency_s == 0 "
+                    "(latency comes from the wall clock via the time gate)"
+                )
+            if self.wire_sync_quantum_s <= 0:
+                raise ExperimentError("wire_sync_quantum_s must be > 0")
+            if self.wire_latency_budget_s <= 0:
+                raise ExperimentError("wire_latency_budget_s must be > 0")
+            if self.wire_dilation < 0:
+                raise ExperimentError("wire_dilation must be >= 0")
+            if self.wire_client not in (None, "learning", "static"):
+                raise ExperimentError(
+                    "wire_client must be None, 'learning', or 'static', "
+                    f"got {self.wire_client!r}"
+                )
+            self.parsed_wire_listen()  # validates host:port early
         if self.checkpoint_interval_s is not None:
             if self.checkpoint_interval_s <= 0:
                 raise ExperimentError("checkpoint interval must be > 0")
@@ -144,3 +200,17 @@ class HorseConfig:
         if self.incremental_solver:
             return "incremental"
         return self.solver
+
+    def parsed_wire_listen(self) -> tuple:
+        """``wire_listen`` split into ``(host, port)``."""
+        host, sep, port = str(self.wire_listen).rpartition(":")
+        if not sep or not host:
+            raise ExperimentError(
+                f"wire_listen must be 'host:port', got {self.wire_listen!r}"
+            )
+        try:
+            return host, int(port)
+        except ValueError:
+            raise ExperimentError(
+                f"wire_listen port must be an integer, got {port!r}"
+            ) from None

@@ -74,6 +74,14 @@ class Horse:
 
         if policies is not None and controller is not None:
             raise ExperimentError("pass either policies or a controller, not both")
+        if self.config.control == "wire" and (
+            policies is not None or controller is not None
+        ):
+            raise ExperimentError(
+                "wire control puts the controller on the other end of a TCP "
+                "connection; in-process policies/controller cannot be combined "
+                "with control='wire'"
+            )
         if isinstance(policies, CompiledPolicy):
             self.compiled = policies
             self.controller = policies.controller
@@ -100,6 +108,23 @@ class Horse:
             controller=self.controller,
             latency_s=self.config.control_latency_s,
         )
+
+        #: The external control-plane gateway (None for inproc control).
+        self.wire = None
+        if self.config.control == "wire":
+            from ..wire.transport import WireRuntime
+
+            self.wire = WireRuntime(
+                self.channel,
+                listen=self.config.parsed_wire_listen(),
+                sync_quantum_s=self.config.wire_sync_quantum_s,
+                latency_budget_s=self.config.wire_latency_budget_s,
+                dilation=self.config.wire_dilation,
+                client_mode=self.config.wire_client,
+                client_routes=self.config.wire_client_routes,
+            )
+            self.channel.transport = self.wire.transport
+            self.wire.transport.bind(self.channel)
 
         if self.config.engine == "flow":
             self.engine: Union[
@@ -151,6 +176,8 @@ class Horse:
         registry.register_source("sim", self.sim.stats_snapshot)
         registry.register_source("engine", self.engine.engine_stats)
         registry.register_source("channel", self.channel.stats_snapshot)
+        if self.wire is not None:
+            registry.register_source("wire", self.wire.metrics)
         if self.config.profile:
             self.telemetry.enable_profiling()
         if self.config.trace_path:
@@ -258,10 +285,24 @@ class Horse:
     # Workload
     # ------------------------------------------------------------------
     def start_control_plane(self) -> None:
-        """Install proactive policies (idempotent; run() calls this)."""
+        """Install proactive policies (idempotent; run() calls this).
+
+        With wire control this (re-)establishes the TCP gateway: after a
+        checkpoint restore the listener and connections come back lazily
+        here, advertising the restored flag so the controller skips
+        proactive installs.
+        """
         if not self._started:
             self.controller.start()
             self._started = True
+        if self.wire is not None and not self.wire.running:
+            self.wire.start()
+
+    def shutdown_wire(self) -> None:
+        """Stop the wire gateway (no-op for inproc control).  Idempotent;
+        the next :meth:`run` brings it back up."""
+        if self.wire is not None:
+            self.wire.shutdown()
 
     def submit_flows(self, flows: Iterable[Flow]) -> List[Flow]:
         """Schedule pre-built flows."""
@@ -327,6 +368,32 @@ class Horse:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def _run_gated(self, until: Optional[float]) -> None:
+        """Advance the kernel in sync-quantum slices, pausing at each
+        boundary until outstanding wire round trips have completed.
+
+        Slicing is behavior-preserving: repeated ``run(until=t_k)`` calls
+        fire the same events at the same times as one call, so with
+        ``wire_dilation == 0`` (where every controller exchange resolves
+        inline) a gated run is bitwise-identical to an ungated one.
+        """
+        quantum = self.config.wire_sync_quantum_s
+        if until is not None:
+            while True:
+                step = min(self.sim.now + quantum, until)
+                self.sim.run(until=step)
+                self.wire.sync()
+                if step >= until:
+                    return
+        # Open-ended drain: alternate full drains with sync points until
+        # neither the kernel nor the wire produces new work.
+        while True:
+            fired_before = self.sim.fired_count
+            self.sim.run(until=None)
+            self.wire.sync()
+            if self.sim.fired_count == fired_before and self.wire.idle:
+                return
+
     def run(self, until: Optional[float] = None) -> RunResult:
         """Install policies, run to completion (or ``until``), report."""
         self.start_control_plane()
@@ -338,7 +405,10 @@ class Horse:
         # a restored run continues to the same `until` by default.
         self.last_until = until
         wall_start = _time.perf_counter()  # repro: noqa[DET001] - reported wall time; never feeds sim state
-        self.sim.run(until=until)
+        if self.wire is not None:
+            self._run_gated(until)
+        else:
+            self.sim.run(until=until)
         if isinstance(self.engine, (FlowLevelEngine, HybridEngine)):
             self.engine.finish()
         wall = _time.perf_counter() - wall_start  # repro: noqa[DET001] - reported wall time; never feeds sim state

@@ -65,6 +65,12 @@ class UnknownDatapathError(ControlPlaneError):
     """A control message referenced a datapath id not on the channel."""
 
 
+class WireError(ControlPlaneError):
+    """The OpenFlow wire gateway failed: a frame could not be encoded or
+    decoded (bad version, unknown type, truncated or overlong body,
+    out-of-range field), or the connection/handshake state is invalid."""
+
+
 class PolicyError(HorseError):
     """Errors in policy specification, compilation, or composition."""
 

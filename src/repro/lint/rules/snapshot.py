@@ -65,6 +65,7 @@ class UnpicklableAttributeRule(Rule):
         "core",
         "traffic",
         "ixp",
+        "wire",
     )
 
     def check(self, module: ModuleContext) -> Iterator[LintFinding]:

@@ -68,7 +68,7 @@ class SetField(Action):
     field_name: str
     value: Any
 
-    _ALLOWED = (
+    ALLOWED_FIELDS = (
         "eth_src",
         "eth_dst",
         "eth_type",
@@ -81,7 +81,7 @@ class SetField(Action):
     )
 
     def __post_init__(self) -> None:
-        if self.field_name not in self._ALLOWED:
+        if self.field_name not in self.ALLOWED_FIELDS:
             raise ValueError(f"unknown settable field: {self.field_name!r}")
 
     def apply(self, headers: HeaderFields) -> HeaderFields:

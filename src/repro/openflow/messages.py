@@ -64,6 +64,55 @@ class Message:
 
 
 # ----------------------------------------------------------------------
+# Session (both directions) — used by the wire gateway handshake
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Hello(Message):
+    """Version negotiation; first message on a wire connection."""
+
+    version: int = 4  # OpenFlow 1.3 wire version
+
+
+@dataclass
+class EchoRequest(Message):
+    """Connection liveness probe; the payload is echoed back."""
+
+    payload: bytes = b""
+
+
+@dataclass
+class EchoReply(Message):
+    """Answers an EchoRequest, echoing its payload."""
+
+    payload: bytes = b""
+
+
+@dataclass
+class FeaturesRequest(Message):
+    """Ask a datapath for its identity and capabilities."""
+
+
+@dataclass
+class FeaturesReply(Message):
+    """Datapath identity: ``dpid`` is the datapath id.
+
+    ``reserved`` carries the datapath count of the simulation (a repro
+    profile extension so the built-in client knows how many connections
+    to open) and ``auxiliary_id`` is 1 on a connection re-established
+    after checkpoint restore (the controller should skip proactive
+    installs — the rules are part of the restored snapshot).
+    """
+
+    n_buffers: int = 0
+    n_tables: int = 1
+    auxiliary_id: int = 0
+    capabilities: int = 0
+    reserved: int = 0
+
+
+# ----------------------------------------------------------------------
 # Southbound (controller -> switch)
 # ----------------------------------------------------------------------
 
@@ -138,6 +187,10 @@ class PacketOut(Message):
     in_port: int = 0
     headers: Optional[HeaderFields] = None
     out_ports: Tuple[int, ...] = ()
+    #: Correlates a reactive packet-out with the packet-in it answers
+    #: (the wire gateway sets it to the packet-in's xid); None for
+    #: unsolicited injections.
+    buffer_id: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.out_ports = tuple(self.out_ports)

@@ -18,13 +18,20 @@ Schema (the ``runtime`` section is new in this module)::
       "seed": 0,
       "until": 60.0,
       "topology": {"kind": "fat-tree", "k": 4} | ... | {"file": "topo.json"},
-      "policies": { ... },
+      "policies": { ... },                   # inproc control only
+      "control": "inproc" | "wire",
+      "wire_client": null | "learning" | "static",   # wire only
       "traffic":  {"kind": "matrix", ...} | {"kind": "trace", ...},
       "runtime":  {"checkpoint_path": "run.ckpt",
                    "checkpoint_interval_s": 5.0,
                    "monitor_mode": "poll",
                    "trace_path": "run.trace.jsonl",
-                   "profile": false}
+                   "profile": false,
+                   "wire_listen": "127.0.0.1:0",      # wire only
+                   "wire_sync_quantum_s": 0.05,
+                   "wire_latency_budget_s": 5.0,
+                   "wire_dilation": 0.0,
+                   "wire_client_routes": [...]}
     }
 """
 
@@ -102,6 +109,13 @@ def build_config(
         profile=runtime.get("profile", False),
         checkpoint_path=runtime.get("checkpoint_path"),
         checkpoint_interval_s=runtime.get("checkpoint_interval_s"),
+        control=scenario.get("control", "inproc"),
+        wire_client=scenario.get("wire_client"),
+        wire_listen=runtime.get("wire_listen", "127.0.0.1:0"),
+        wire_client_routes=runtime.get("wire_client_routes"),
+        wire_sync_quantum_s=runtime.get("wire_sync_quantum_s", 0.05),
+        wire_latency_budget_s=runtime.get("wire_latency_budget_s", 5.0),
+        wire_dilation=runtime.get("wire_dilation", 0.0),
     )
 
 
@@ -111,7 +125,17 @@ def build_horse(
     """Build the simulation a scenario describes (traffic not submitted)."""
     topology, fabric = build_topology(scenario.get("topology", {}))
     config = build_config(scenario, solver=solver)
-    horse = Horse(topology, policies=scenario.get("policies") or {}, config=config)
+    if config.control == "wire":
+        if scenario.get("policies"):
+            raise ExperimentError(
+                "a wire-control scenario cannot carry in-process policies; "
+                "the controller lives on the other end of the connection"
+            )
+        horse = Horse(topology, policies=None, config=config)
+    else:
+        horse = Horse(
+            topology, policies=scenario.get("policies") or {}, config=config
+        )
     return horse, fabric
 
 
@@ -153,7 +177,11 @@ def run_scenario(
     """Build, load, and run one scenario end to end."""
     horse, fabric = build_horse(scenario, solver=solver)
     count = build_traffic(scenario.get("traffic", {}), horse, fabric)
-    result = horse.run(until=scenario.get("until"))
+    try:
+        result = horse.run(until=scenario.get("until"))
+    finally:
+        # A scenario is one run; release the wire listener (no-op inproc).
+        horse.shutdown_wire()
     return horse, result, count
 
 

@@ -116,9 +116,17 @@ def run_digest(result: "RunResult") -> str:
     regression tests and ``repro run --check-digest`` gate on this.
     Profiling (``profile: true``) embeds wall time in ``engine_stats``
     and breaks digest stability; leave it off for digested runs.
+    Wire-control metrics (``wire.*``) are wall-clock measurements of
+    the external controller and are likewise excluded, so a wire run
+    that reproduces an in-proc run's behavior hashes identically.
     """
     doc = result_to_dict(result)
     doc.pop("wall_time_s", None)
+    doc["metrics"] = {
+        key: value
+        for key, value in doc["metrics"].items()
+        if not key.startswith("wire.")
+    }
     blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 

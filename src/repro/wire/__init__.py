@@ -1,0 +1,41 @@
+"""The external control-plane gateway: real OpenFlow connections.
+
+The poster removes real OpenFlow connections; the authors' follow-up
+(*Faster Control Plane Experimentation with Horse*, arXiv:2307.06409)
+re-adds them so a simulated data plane can be driven by real, external
+controllers over TCP, with simulated time gated against wall-clock
+control-plane latency.  This package is that gateway:
+
+* :mod:`repro.wire.codec` — binary OpenFlow 1.3 framing for the message
+  subset modeled by :mod:`repro.openflow.messages`.
+* :mod:`repro.wire.server` — the asyncio TCP datapath agent (one
+  connection per simulated switch).
+* :mod:`repro.wire.timegate` — the hybrid simulated/wall clock: the
+  kernel pauses at a sync quantum while outstanding wire round trips
+  complete, mapping controller thinking time onto simulated latency.
+* :mod:`repro.wire.transport` — the :class:`ControlChannel` transport
+  implementation bridging the two.
+* :mod:`repro.wire.client` — a minimal built-in wire controller
+  (learning-switch and static-routes modes) so tests and CI need no
+  external controller install.
+
+See docs/wire-protocol.md for the framing profile and how to attach an
+external controller.
+"""
+
+from .client import WireControllerClient
+from .codec import FrameReader, decode, encode
+from .server import WireServer
+from .timegate import TimeGate
+from .transport import WireRuntime, WireTransport
+
+__all__ = [
+    "FrameReader",
+    "TimeGate",
+    "WireControllerClient",
+    "WireRuntime",
+    "WireServer",
+    "WireTransport",
+    "decode",
+    "encode",
+]

@@ -1,0 +1,460 @@
+"""A minimal in-repo wire controller.
+
+Tests, CI, and the self-driven loopback demo need a controller on the
+other end of the TCP socket without installing one.  This client speaks
+the codec's OpenFlow 1.3 profile over plain blocking sockets (one
+connection per datapath, handshakes performed in sequence so datapath
+binding is deterministic) and implements two modes:
+
+* ``learning`` — mirrors :class:`repro.control.apps.L2LearningApp`
+  rule-for-rule: a priority-0 table-miss punt on every datapath, MAC
+  learning on packet-ins, reactive priority-10 forwarding installs.
+  Because the behavior is identical, a wire run with this client
+  produces the same run digest as an in-proc L2LearningApp run.
+* ``static`` — installs a fixed route list proactively and answers any
+  stray packet-in with an empty packet-out ("no decision"), so the
+  simulation never stalls on the latency budget.
+
+The client is also runnable against an external ``repro serve`` via the
+``repro wire-client`` CLI.
+"""
+
+from __future__ import annotations
+
+import logging
+import select
+import socket
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from ..control.app import ControllerApp
+from ..errors import WireError
+from ..net.address import MacAddress
+from ..openflow.action import ApplyActions, Output, PORT_FLOOD, ToController
+from ..openflow.match import Match
+from ..openflow.messages import (
+    BarrierReply,
+    BarrierRequest,
+    EchoReply,
+    EchoRequest,
+    ErrorMsg,
+    FeaturesReply,
+    FeaturesRequest,
+    FlowMod,
+    FlowModCommand,
+    FlowRemoved,
+    Hello,
+    Message,
+    PacketIn,
+    PacketOut,
+    PortStatus,
+)
+from .codec import WIRE_VERSION, FrameReader, decode, encode
+
+logger = logging.getLogger(__name__)
+
+#: The cookie the first app added to a Controller would get; using the
+#: same value keeps wire-installed rules bitwise-identical to rules the
+#: in-process L2LearningApp installs.
+CLIENT_COOKIE = ControllerApp.COOKIE_BASE + 1
+
+
+class _Link:
+    """One connected datapath: socket + frame reassembly + identity."""
+
+    __slots__ = ("sock", "reader", "dpid")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.reader = FrameReader()
+        self.dpid: Optional[int] = None
+
+
+class WireControllerClient:
+    """Built-in learning-switch / static-routes wire controller.
+
+    Parameters
+    ----------
+    host, port:
+        The ``repro serve`` (or in-run gateway) listen address.
+    mode:
+        ``"learning"`` or ``"static"``.
+    routes:
+        For static mode: dicts with ``dpid``, ``out_port`` and optional
+        ``eth_dst``/``priority`` keys.
+    idle_timeout, priority:
+        Learning-mode install parameters (mirror L2LearningApp).
+    restored_ok:
+        When True (gateway-internal use), honor the server's
+        ``auxiliary_id=1`` restored flag by skipping proactive installs.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        mode: str = "learning",
+        routes: Optional[List[dict]] = None,
+        idle_timeout: float = 0.0,
+        priority: int = 10,
+        connect_timeout_s: float = 10.0,
+        restored_ok: bool = True,
+        mac_table: Optional[Dict[Tuple[int, MacAddress], int]] = None,
+    ) -> None:
+        if mode not in ("learning", "static"):
+            raise WireError(
+                f"unknown client mode {mode!r} (expected 'learning' or 'static')"
+            )
+        self.host = host
+        self.port = port
+        self.mode = mode
+        self.routes = list(routes or [])
+        self.idle_timeout = idle_timeout
+        self.priority = priority
+        self.connect_timeout_s = connect_timeout_s
+        self.restored_ok = restored_ok
+        self.restored = False
+        #: (dpid, mac) -> port, exactly like L2LearningApp.mac_table.
+        #: Seedable so a restored run's client resumes with the state it
+        #: had at checkpoint time (see WireRuntime.__getstate__).
+        self.mac_table: Dict[Tuple[int, MacAddress], int] = dict(
+            mac_table or {}
+        )
+        self.stats = {
+            "packet_ins": 0,
+            "flow_mods": 0,
+            "packet_outs": 0,
+            "echo_replies": 0,
+            "errors_received": 0,
+        }
+        self._links: List[_Link] = []
+        self._stop = threading.Event()
+        self._error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Connect, install proactive state, serve until stopped or the
+        server closes every connection."""
+        try:
+            self.connect()
+            self.serve()
+        except Exception as exc:  # surfaced via .error by the owner
+            self._error = exc
+            logger.debug("wire client died", exc_info=True)
+        finally:
+            self.close()
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        return self._error
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def __getstate__(self) -> dict:
+        raise TypeError(
+            "WireControllerClient holds live sockets and is never part of "
+            "a checkpoint; WireRuntime snapshots only its mac_table and "
+            "reconnects a fresh client on restore"
+        )
+
+    def close(self) -> None:
+        for link in self._links:
+            try:
+                link.sock.close()
+            except OSError:
+                pass
+        self._links = []
+
+    # ------------------------------------------------------------------
+    # Handshake
+    # ------------------------------------------------------------------
+    def connect(self) -> List[int]:
+        """Open one handshaken connection per datapath; returns the
+        bound dpids in connection order."""
+        first = self._open_link()
+        count = max(1, first[1].reserved)
+        self.restored = bool(first[1].auxiliary_id) and self.restored_ok
+        for _ in range(count - 1):
+            self._open_link()
+        if not self.restored:
+            self._proactive_installs()
+        # Fence: the server marks a connection settled on barrier, so
+        # the simulation only starts once installs are applied.
+        for link in self._links:
+            self._send(link, BarrierRequest(dpid=link.dpid))
+        return [link.dpid for link in self._links]
+
+    def _open_link(self) -> Tuple[_Link, FeaturesReply]:
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout_s
+            )
+        except OSError as exc:
+            raise WireError(
+                f"cannot connect to wire server {self.host}:{self.port}: {exc}"
+            ) from None
+        try:
+            # Small latency-bound frames: disable Nagle (see server).
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        sock.settimeout(self.connect_timeout_s)
+        link = _Link(sock)
+        self._links.append(link)
+        self._send(link, Hello(dpid=0, version=WIRE_VERSION))
+        self._send(link, FeaturesRequest(dpid=0))
+        reply = self._await_features(link)
+        link.dpid = reply.dpid
+        return link, reply
+
+    def _await_features(self, link: _Link) -> FeaturesReply:
+        while True:
+            message = self._recv(link)
+            if isinstance(message, FeaturesReply):
+                return message
+            if isinstance(message, Hello):
+                if message.version != WIRE_VERSION:
+                    raise WireError(
+                        f"server speaks OpenFlow version {message.version}, "
+                        f"not {WIRE_VERSION}"
+                    )
+                continue
+            if isinstance(message, EchoRequest):
+                self._echo(link, message)
+                continue
+            if isinstance(message, ErrorMsg):
+                raise WireError(
+                    f"handshake rejected: {message.error_type}: "
+                    f"{message.detail}"
+                )
+            raise WireError(
+                f"unexpected {type(message).__name__} during handshake"
+            )
+
+    def _proactive_installs(self) -> None:
+        if self.mode == "learning":
+            # Mirror L2LearningApp.start(): a table-miss punt per dpid.
+            instructions = (ApplyActions((ToController(),)),)
+            for link in self._links:
+                self._install(
+                    link, Match(), instructions, priority=0
+                )
+        else:
+            by_dpid = {link.dpid: link for link in self._links}
+            for route in self.routes:
+                dpid = route["dpid"]
+                link = by_dpid.get(dpid)
+                if link is None:
+                    raise WireError(f"static route names unknown dpid {dpid}")
+                match_kwargs = {}
+                if "eth_dst" in route:
+                    match_kwargs["eth_dst"] = MacAddress(route["eth_dst"])
+                if "eth_src" in route:
+                    match_kwargs["eth_src"] = MacAddress(route["eth_src"])
+                if "in_port" in route:
+                    match_kwargs["in_port"] = int(route["in_port"])
+                self._install(
+                    link,
+                    Match(**match_kwargs),
+                    (ApplyActions((Output(int(route["out_port"])),)),),
+                    priority=int(route.get("priority", self.priority)),
+                )
+
+    def _install(
+        self,
+        link: _Link,
+        match: Match,
+        instructions,
+        priority: int,
+        idle_timeout: float = 0.0,
+    ) -> None:
+        self.stats["flow_mods"] += 1
+        self._send(
+            link,
+            FlowMod(
+                dpid=link.dpid,
+                command=FlowModCommand.ADD,
+                table_id=0,
+                match=match,
+                priority=priority,
+                instructions=tuple(instructions),
+                idle_timeout=idle_timeout,
+                cookie=CLIENT_COOKIE,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Serve loop
+    # ------------------------------------------------------------------
+    def serve(self, poll_s: float = 0.05) -> None:
+        """React to server messages until stopped or disconnected."""
+        while not self._stop.is_set() and self._links:
+            socks = [link.sock for link in self._links]
+            try:
+                readable, _, _ = select.select(socks, [], [], poll_s)
+            except OSError:
+                break
+            for sock in readable:
+                link = next(
+                    (l for l in self._links if l.sock is sock), None
+                )
+                if link is None:
+                    continue
+                try:
+                    data = sock.recv(65536)
+                except OSError:
+                    data = b""
+                if not data:
+                    self._drop(link)
+                    continue
+                link.reader.feed(data)
+                try:
+                    for frame in link.reader.frames():
+                        self._handle(link, decode(frame))
+                except WireError:
+                    logger.debug(
+                        "client dropping unframeable connection",
+                        exc_info=True,
+                    )
+                    self._drop(link)
+
+    def _drop(self, link: _Link) -> None:
+        try:
+            link.sock.close()
+        except OSError:
+            pass
+        if link in self._links:
+            self._links.remove(link)
+
+    def _handle(self, link: _Link, message: Message) -> None:
+        if isinstance(message, PacketIn):
+            self.stats["packet_ins"] += 1
+            self._on_packet_in(link, message)
+        elif isinstance(message, EchoRequest):
+            self._echo(link, message)
+        elif isinstance(message, ErrorMsg):
+            self.stats["errors_received"] += 1
+            logger.debug(
+                "server error: %s: %s", message.error_type, message.detail
+            )
+        elif isinstance(message, PortStatus):
+            self._on_port_status(link, message)
+        elif isinstance(message, FlowRemoved):
+            self._on_flow_removed(message)
+        # BarrierReply / stats replies / duplicate Hello: nothing to do.
+
+    def _echo(self, link: _Link, message: EchoRequest) -> None:
+        self.stats["echo_replies"] += 1
+        self._send(
+            link,
+            EchoReply(
+                dpid=message.dpid, xid=message.xid, payload=message.payload
+            ),
+        )
+
+    # -- packet-in handling (mirrors L2LearningApp.on_packet_in) -------
+    def _on_packet_in(self, link: _Link, message: PacketIn) -> None:
+        if self.mode == "static":
+            self._answer(link, message, None)
+            return
+        headers = message.headers
+        if headers is None:
+            self._answer(link, message, None)
+            return
+        if headers.eth_src is not None:
+            self.mac_table[(message.dpid, headers.eth_src)] = message.in_port
+        if headers.eth_dst is None or headers.eth_dst.is_broadcast:
+            self._answer(link, message, [PORT_FLOOD])
+            return
+        out_port = self.mac_table.get((message.dpid, headers.eth_dst))
+        if out_port is None:
+            self._answer(link, message, [PORT_FLOOD])
+            return
+        # Destination learned: install and forward directly.  The
+        # FlowMod goes first so the switch applies it before the
+        # answering packet-out (TCP preserves the order), matching the
+        # in-proc app that installs inside on_packet_in.
+        self._install(
+            link,
+            Match(eth_dst=headers.eth_dst),
+            (ApplyActions((Output(out_port),)),),
+            priority=self.priority,
+            idle_timeout=self.idle_timeout,
+        )
+        self._answer(link, message, [out_port])
+
+    def _answer(
+        self, link: _Link, message: PacketIn, ports: Optional[List[int]]
+    ) -> None:
+        """Answer a packet-in.  ``ports=None`` (no decision) is an empty
+        packet-out — the gateway maps it back to None."""
+        self.stats["packet_outs"] += 1
+        self._send(
+            link,
+            PacketOut(
+                dpid=message.dpid,
+                in_port=message.in_port,
+                out_ports=tuple(ports or ()),
+                buffer_id=message.xid,
+            ),
+        )
+
+    def _on_port_status(self, link: _Link, message: PortStatus) -> None:
+        if self.mode != "learning" or message.link_up:
+            return
+        # Mirror L2LearningApp.on_port_status: purge learnings and rules
+        # through the dead port.
+        stale = [
+            key
+            for key, port in self.mac_table.items()
+            if key[0] == message.dpid and port == message.port_no
+        ]
+        for key in stale:
+            del self.mac_table[key]
+            self.stats["flow_mods"] += 1
+            self._send(
+                link,
+                FlowMod(
+                    dpid=message.dpid,
+                    command=FlowModCommand.DELETE,
+                    table_id=0,
+                    match=Match(eth_dst=key[1]),
+                    cookie=CLIENT_COOKIE,
+                ),
+            )
+
+    def _on_flow_removed(self, message: FlowRemoved) -> None:
+        if self.mode != "learning" or message.cookie != CLIENT_COOKIE:
+            return
+        eth_dst = message.match.eth_dst
+        if eth_dst is not None:
+            self.mac_table.pop((message.dpid, eth_dst), None)
+
+    # ------------------------------------------------------------------
+    # Socket primitives
+    # ------------------------------------------------------------------
+    def _send(self, link: _Link, message: Message) -> None:
+        try:
+            link.sock.sendall(encode(message))
+        except OSError as exc:
+            raise WireError(f"wire client send failed: {exc}") from None
+
+    def _recv(self, link: _Link) -> Message:
+        """Blocking read of one message (handshake phase only)."""
+        while True:
+            for frame in link.reader.frames():
+                return decode(frame)
+            try:
+                data = link.sock.recv(65536)
+            except socket.timeout:
+                raise WireError(
+                    "timed out waiting for a server message"
+                ) from None
+            except OSError as exc:
+                raise WireError(f"wire client recv failed: {exc}") from None
+            if not data:
+                raise WireError("server closed the connection mid-handshake")
+            link.reader.feed(data)

@@ -1,0 +1,466 @@
+"""The asyncio TCP datapath agent.
+
+One listening socket; one accepted connection per simulated switch.  The
+server plays the *switch* side of OpenFlow 1.3: it sends Hello on
+accept, answers FeaturesRequest by binding the connection to the next
+unbound datapath id (connections made in sequence bind to dpids in
+sorted order, which is what makes the handshake deterministic), answers
+echo requests inline for liveness, and queues every other southbound
+message into a thread-safe inbox that the *simulation thread* drains —
+switch pipelines are simulation state and are only ever mutated from
+the simulation thread (see :mod:`repro.wire.transport`).
+
+The event loop runs in a daemon thread; the public methods are the
+thread boundary.  Frame-level garbage gets an ErrorMsg back and, when
+the byte stream itself can no longer be framed, the connection is
+closed — the server loop itself never crashes on peer input.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import socket
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import WireError
+from ..openflow.messages import (
+    BarrierReply,
+    EchoReply,
+    EchoRequest,
+    ErrorMsg,
+    FeaturesReply,
+    FeaturesRequest,
+    Hello,
+    Message,
+)
+from .codec import WIRE_VERSION, FrameReader, decode, encode
+
+logger = logging.getLogger(__name__)
+
+
+class _Connection:
+    """Loop-thread state for one accepted TCP connection."""
+
+    __slots__ = ("writer", "reader_state", "dpid", "said_hello", "settled")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.reader_state = FrameReader()
+        self.dpid: Optional[int] = None  # bound after FeaturesRequest
+        self.said_hello = False
+        self.settled = False  # a barrier has completed on this connection
+
+
+class WireServer:
+    """Accepts OpenFlow connections on behalf of every simulated switch.
+
+    Parameters
+    ----------
+    dpids:
+        The datapath ids connections may bind to (sorted binding order).
+    host, port:
+        Listen address; port 0 picks a free port (see ``bound_address``).
+    n_tables:
+        Advertised in FeaturesReply.
+    restored:
+        True when the surrounding run came out of a checkpoint; sets
+        ``auxiliary_id=1`` in FeaturesReply so controllers skip
+        proactive installs (the rules are in the restored snapshot).
+    """
+
+    def __init__(
+        self,
+        dpids: List[int],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        n_tables: int = 1,
+        restored: bool = False,
+    ) -> None:
+        if not dpids:
+            raise WireError("wire server needs at least one datapath id")
+        self.dpids = sorted(dpids)
+        self.host = host
+        self.port = port
+        self.n_tables = n_tables
+        self.restored = restored
+        self.bound_address: Optional[Tuple[str, int]] = None
+        self.counters = {
+            "rx_frames": 0,
+            "rx_bytes": 0,
+            "tx_frames": 0,
+            "tx_bytes": 0,
+            "decode_errors": 0,
+            "echo_replies": 0,
+            "connections_total": 0,
+        }
+        # Everything below the lock is shared between the loop thread
+        # and the simulation thread.
+        self._cond = threading.Condition()
+        self._connections: List[_Connection] = []
+        self._bound: Dict[int, _Connection] = {}
+        self._inbox: List[Message] = []
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._asyncio_server: Optional[asyncio.base_events.Server] = None
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle (simulation thread)
+    # ------------------------------------------------------------------
+    def start(self) -> Tuple[str, int]:
+        """Bind the listener and start the loop thread; returns the
+        bound ``(host, port)``."""
+        if self._thread is not None:
+            raise WireError("wire server already started")
+        self._thread = threading.Thread(
+            target=self._run_loop, name="repro-wire-server", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=30.0)
+        if self._startup_error is not None:
+            raise WireError(
+                f"wire server failed to bind {self.host}:{self.port}: "
+                f"{self._startup_error}"
+            )
+        if self.bound_address is None:
+            raise WireError("wire server did not start in time")
+        return self.bound_address
+
+    def stop(self) -> None:
+        """Close every connection, stop the loop, join the thread."""
+        loop = self._loop
+        with self._cond:
+            if self._stopping:
+                return
+            self._stopping = True
+            self._cond.notify_all()
+        if loop is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(self._shutdown_in_loop)
+            except RuntimeError:
+                pass  # loop already stopped
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self._thread = None
+
+    def __getstate__(self) -> dict:
+        raise TypeError(
+            "WireServer holds live sockets and threads and is never part "
+            "of a checkpoint; WireRuntime drops its reference in "
+            "__getstate__ and re-listens on restore"
+        )
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    # ------------------------------------------------------------------
+    # Simulation-thread API
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Encode and transmit to the connection bound to message.dpid."""
+        frame = encode(message)
+        with self._cond:
+            conn = self._bound.get(message.dpid)
+            if conn is None:
+                raise WireError(
+                    f"no wire connection bound to dpid {message.dpid}"
+                )
+            loop = self._loop
+            if loop is None or loop.is_closed() or self._stopping:
+                raise WireError("wire server is not running")
+            self.counters["tx_frames"] += 1
+            self.counters["tx_bytes"] += len(frame)
+            if isinstance(message, BarrierReply):
+                conn.settled = True
+                self._cond.notify_all()
+        loop.call_soon_threadsafe(self._write_in_loop, conn, frame)
+
+    def wait_bound(self, timeout_s: float) -> bool:
+        """Block until every dpid has a bound connection."""
+        deadline = _monotonic() + timeout_s
+        with self._cond:
+            while len(self._bound) < len(self.dpids):
+                remaining = deadline - _monotonic()
+                if remaining <= 0 or self._stopping:
+                    return False
+                self._cond.wait(remaining)
+            return True
+
+    def wait_settled(self, timeout_s: float) -> bool:
+        """Block until every bound connection has completed a barrier
+        (the built-in client barriers after its proactive installs)."""
+        deadline = _monotonic() + timeout_s
+        with self._cond:
+            while not (
+                self._bound
+                and len(self._bound) == len(self.dpids)
+                and all(c.settled for c in self._bound.values())
+            ):
+                remaining = deadline - _monotonic()
+                if remaining <= 0 or self._stopping:
+                    return False
+                self._cond.wait(remaining)
+            return True
+
+    def wait_message(self, deadline: float) -> Optional[Message]:
+        """Pop the oldest queued southbound message, blocking until one
+        arrives or the wall-clock ``deadline`` passes."""
+        with self._cond:
+            while not self._inbox:
+                remaining = deadline - _monotonic()
+                if remaining <= 0 or self._stopping:
+                    return None
+                self._cond.wait(remaining)
+            return self._inbox.pop(0)
+
+    def pop_messages(self) -> List[Message]:
+        """Drain the inbox without blocking."""
+        with self._cond:
+            messages, self._inbox = self._inbox, []
+            return messages
+
+    @property
+    def inbox_size(self) -> int:
+        with self._cond:
+            return len(self._inbox)
+
+    @property
+    def active_connections(self) -> int:
+        with self._cond:
+            return len(self._connections)
+
+    @property
+    def bound_dpids(self) -> List[int]:
+        with self._cond:
+            return sorted(self._bound)
+
+    def stats(self) -> Dict[str, float]:
+        """Telemetry snapshot (merged into the ``wire`` source)."""
+        with self._cond:
+            out = {k: float(v) for k, v in self.counters.items()}
+            out["active_connections"] = float(len(self._connections))
+            out["bound_connections"] = float(len(self._bound))
+            out["inbox_depth"] = float(len(self._inbox))
+            return out
+
+    # ------------------------------------------------------------------
+    # Event-loop thread
+    # ------------------------------------------------------------------
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        try:
+            server = loop.run_until_complete(
+                asyncio.start_server(self._on_connect, self.host, self.port)
+            )
+        except BaseException as exc:  # bind failure -> report, don't die
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._asyncio_server = server
+        sockname = server.sockets[0].getsockname()
+        self.bound_address = (sockname[0], sockname[1])
+        self._started.set()
+        try:
+            loop.run_forever()
+        finally:
+            server.close()
+            try:
+                loop.run_until_complete(server.wait_closed())
+            except Exception:
+                pass
+            # Cancel whatever connection tasks are still around.
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                try:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+                except Exception:
+                    pass
+            loop.close()
+
+    def _shutdown_in_loop(self) -> None:
+        with self._cond:
+            connections = list(self._connections)
+        for conn in connections:
+            try:
+                conn.writer.close()
+            except Exception:
+                pass
+        self._loop.stop()
+
+    def _write_in_loop(self, conn: _Connection, frame: bytes) -> None:
+        try:
+            conn.writer.write(frame)
+        except Exception:
+            logger.debug("wire tx to dpid %s failed", conn.dpid, exc_info=True)
+
+    async def _on_connect(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            try:
+                # Control exchanges are small and latency-bound: without
+                # this, Nagle + delayed ACK adds ~10ms per round trip.
+                sock.setsockopt(
+                    socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                )
+            except OSError:
+                pass
+        conn = _Connection(writer)
+        with self._cond:
+            if self._stopping:
+                writer.close()
+                return
+            self._connections.append(conn)
+            self.counters["connections_total"] += 1
+            self._cond.notify_all()
+        self._tx(conn, Hello(dpid=0, version=WIRE_VERSION))
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                conn.reader_state.feed(data)
+                try:
+                    for frame in conn.reader_state.frames():
+                        self._on_frame(conn, frame)
+                except WireError as exc:
+                    # The stream cannot be re-framed after this.
+                    self._count_decode_error()
+                    self._tx_error(conn, f"unrecoverable framing error: {exc}")
+                    break
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self._drop_connection(conn)
+
+    def _on_frame(self, conn: _Connection, frame: bytes) -> None:
+        with self._cond:
+            self.counters["rx_frames"] += 1
+            self.counters["rx_bytes"] += len(frame)
+        try:
+            message = decode(frame)
+        except WireError as exc:
+            # The frame boundary held, so the stream survives: report
+            # and keep reading.
+            self._count_decode_error()
+            self._tx_error(conn, str(exc))
+            return
+        if isinstance(message, Hello):
+            if message.version != WIRE_VERSION:
+                self._tx_error(
+                    conn,
+                    f"unsupported OpenFlow version {message.version}",
+                )
+                conn.writer.close()
+                return
+            conn.said_hello = True
+            return
+        if isinstance(message, EchoRequest):
+            with self._cond:
+                self.counters["echo_replies"] += 1
+            self._tx(
+                conn,
+                EchoReply(
+                    dpid=message.dpid,
+                    xid=message.xid,
+                    payload=message.payload,
+                ),
+            )
+            return
+        if isinstance(message, FeaturesRequest):
+            self._bind(conn, message)
+            return
+        # Everything else is applied by the simulation thread, in order.
+        with self._cond:
+            self._inbox.append(message)
+            self._cond.notify_all()
+
+    def _bind(self, conn: _Connection, request: FeaturesRequest) -> None:
+        with self._cond:
+            if conn.dpid is not None:
+                dpid = conn.dpid  # idempotent re-request
+            else:
+                unbound = [d for d in self.dpids if d not in self._bound]
+                if not unbound:
+                    dpid = None
+                else:
+                    dpid = unbound[0]
+                    conn.dpid = dpid
+                    self._bound[dpid] = conn
+                    self._cond.notify_all()
+        if dpid is None:
+            self._tx_error(
+                conn,
+                f"all {len(self.dpids)} datapaths already have connections",
+            )
+            conn.writer.close()
+            return
+        self._tx(
+            conn,
+            FeaturesReply(
+                dpid=dpid,
+                xid=request.xid,
+                n_tables=self.n_tables,
+                auxiliary_id=1 if self.restored else 0,
+                reserved=len(self.dpids),
+            ),
+        )
+
+    def _drop_connection(self, conn: _Connection) -> None:
+        with self._cond:
+            if conn in self._connections:
+                self._connections.remove(conn)
+            if conn.dpid is not None:
+                self._bound.pop(conn.dpid, None)
+            self._cond.notify_all()
+        try:
+            conn.writer.close()
+        except Exception:
+            pass
+
+    def _count_decode_error(self) -> None:
+        with self._cond:
+            self.counters["decode_errors"] += 1
+
+    def _tx(self, conn: _Connection, message: Message) -> None:
+        try:
+            frame = encode(message)
+        except WireError:
+            logger.exception("failed to encode %r", message)
+            return
+        with self._cond:
+            self.counters["tx_frames"] += 1
+            self.counters["tx_bytes"] += len(frame)
+        try:
+            conn.writer.write(frame)
+        except Exception:
+            logger.debug("wire tx failed", exc_info=True)
+
+    def _tx_error(self, conn: _Connection, detail: str) -> None:
+        self._tx(
+            conn,
+            ErrorMsg(
+                dpid=conn.dpid if conn.dpid is not None else 0,
+                error_type="WireError",
+                detail=detail,
+            ),
+        )
+
+
+def _monotonic() -> float:
+    """Host clock used only to pace waiting threads."""
+    return time.monotonic()  # repro: noqa[DET001] - paces host threads; never feeds sim state

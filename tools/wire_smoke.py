@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""End-to-end wire-control smoke: serve + client in separate processes.
+
+Starts ``repro serve`` on a free loopback port, waits for the printed
+listen address, runs ``repro wire-client`` against it, and asserts
+
+* both processes exit 0 within a hard timeout,
+* the run delivers all flows (the client actually controlled it), and
+* the server reports ``wire.active_connections 0`` after shutdown
+  (no leaked connections or threads).
+
+Run directly (CI's wire-smoke job, `make wire-smoke`)::
+
+    python tools/wire_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCENARIO = os.path.join(REPO, "examples", "scenarios", "wire_demo.json")
+SERVE_TIMEOUT_S = 120.0
+CLIENT_TIMEOUT_S = 120.0
+LISTEN_PATTERN = re.compile(r"listening on (\S+?):(\d+)")
+
+
+def fail(message: str) -> "NoReturn":  # noqa: F821 - py3.10 typing
+    print(f"wire-smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env["PYTHONUNBUFFERED"] = "1"
+
+    serve = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", SCENARIO,
+            "--listen", "127.0.0.1:0", "--budget", "60",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO,
+    )
+    try:
+        address = None
+        deadline = time.monotonic() + SERVE_TIMEOUT_S
+        lines = []
+        while time.monotonic() < deadline:
+            line = serve.stdout.readline()
+            if not line:
+                break
+            lines.append(line)
+            found = LISTEN_PATTERN.search(line)
+            if found:
+                address = f"{found.group(1)}:{found.group(2)}"
+                break
+        if address is None:
+            serve.kill()
+            fail("server never printed its listen address:\n" + "".join(lines))
+        print(f"wire-smoke: server listening on {address}")
+
+        client = subprocess.run(
+            [
+                sys.executable, "-m", "repro", "wire-client", address,
+                "--mode", "learning",
+            ],
+            capture_output=True,
+            text=True,
+            timeout=CLIENT_TIMEOUT_S,
+            env=env,
+            cwd=REPO,
+        )
+        print(client.stdout, end="")
+        if client.returncode != 0:
+            serve.kill()
+            fail(
+                f"client exited {client.returncode}:\n"
+                f"{client.stdout}{client.stderr}"
+            )
+
+        try:
+            remaining = "".join(lines) + serve.communicate(
+                timeout=SERVE_TIMEOUT_S
+            )[0]
+        except subprocess.TimeoutExpired:
+            serve.kill()
+            fail("server did not exit after the client finished")
+        if serve.returncode != 0:
+            fail(f"server exited {serve.returncode}:\n{remaining}")
+        if "wire.active_connections 0" not in remaining:
+            fail(
+                "server did not report wire.active_connections 0 after "
+                "shutdown:\n" + remaining
+            )
+        if "100.0% delivered" not in remaining:
+            fail("wire-controlled run did not deliver all flows:\n" + remaining)
+    finally:
+        if serve.poll() is None:
+            serve.kill()
+    print("wire-smoke: OK (clean shutdown, all flows delivered)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
