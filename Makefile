@@ -1,6 +1,6 @@
 # Convenience targets for the Horse reproduction.
 
-.PHONY: install test lint lint-sim typecheck check bench bench-quick telemetry-gate sweep-smoke wire-smoke examples clean
+.PHONY: install test lint lint-sim typecheck check bench bench-quick telemetry-gate sweep-smoke shard-smoke wire-smoke examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -28,6 +28,7 @@ lint:
 		&& ruff check src \
 		|| echo "ruff not installed; skipping (pip install -e .[dev])"
 	python tools/check_private_access.py
+	python tools/check_api_surface.py
 	$(MAKE) lint-sim
 
 # Simulation-correctness linter (determinism / snapshot-safety /
@@ -67,6 +68,13 @@ sweep-smoke:
 		assert r['execution']['retried'] == [2], r['execution']; \
 		assert not r['summary']['failed'], r['summary']; \
 		print('sweep-smoke: crash retried, 4/4 jobs completed')"
+
+# Sharded-runtime smoke: k=1 must reproduce the committed golden
+# digests bit for bit, and a k=4 run with one injected shard crash
+# must restart the shard and finish with results identical to a clean
+# k=4 run.
+shard-smoke:
+	python tools/shard_smoke.py
 
 # External control-plane smoke: `repro serve` + `repro wire-client` in
 # separate processes over a real TCP socket; asserts clean shutdown

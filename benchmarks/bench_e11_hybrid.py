@@ -102,7 +102,7 @@ def run_e11() -> dict:
         pkt_flows, pkt_result, wall = _run("packet")
         pkt_walls.append(wall)
     for _ in range(ROUNDS):
-        hyb_flows, hyb_result, wall = _run("hybrid", hybrid_select="top:2")
+        hyb_flows, hyb_result, wall = _run("hybrid", hybrid={"select": "top:2"})
         hyb_walls.append(wall)
 
     fct_pkt = _foreground_fcts(pkt_flows)

@@ -65,7 +65,7 @@ def _run(mode: str):
     fabric, flows = _workload()
     if mode == "static":
         policies = {"load_balancing": {"mode": "ecmp", "match_on": "ip_dst"}}
-        config = HorseConfig(link_sample_interval_s=0.5)
+        config = HorseConfig(telemetry={"link_sample_interval_s": 0.5})
     else:
         policies = {
             "load_balancing": {
@@ -75,7 +75,10 @@ def _run(mode: str):
             }
         }
         config = HorseConfig(
-            link_sample_interval_s=0.5, monitor_interval_s=0.5
+            telemetry={
+                "link_sample_interval_s": 0.5,
+                "monitor_interval_s": 0.5,
+            }
         )
     horse = Horse(fabric.topology, policies=policies, config=config)
     horse.submit_flows(flows)

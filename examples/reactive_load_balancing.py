@@ -29,7 +29,10 @@ def main() -> None:
             }
         },
         config=HorseConfig(
-            monitor_interval_s=0.5, link_sample_interval_s=0.5
+            telemetry={
+                "monitor_interval_s": 0.5,
+                "link_sample_interval_s": 0.5,
+            }
         ),
     )
 

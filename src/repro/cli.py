@@ -36,6 +36,14 @@ from .runtime.scenario import (
     build_topology as _build_topology,
     build_traffic as _build_traffic,
     reset_id_counters,
+    run_scenario,
+)
+from .runtime.schema import (
+    SCHEMA_VERSION,
+    ensure_v1,
+    migrate_scenario,
+    shard_section,
+    validate_scenario,
 )
 from .stats.export import flows_to_csv, result_to_json, run_digest, summary_text
 
@@ -65,45 +73,64 @@ def cmd_run(args: argparse.Namespace) -> int:
             raise ExperimentError("a scenario file (or --restore) is required")
         with open(args.scenario) as handle:
             scenario = json.load(handle)
-        runtime_overrides = {}
+        # Legacy (v0) documents migrate in memory, warning once per key;
+        # CLI overrides are applied to the v1 sections.
+        scenario = ensure_v1(scenario)
         if args.checkpoint:
-            runtime_overrides["checkpoint_path"] = args.checkpoint
+            section = scenario.setdefault("checkpoint", {})
+            section["path"] = args.checkpoint
             if args.checkpoint_interval:
-                runtime_overrides["checkpoint_interval_s"] = (
-                    args.checkpoint_interval
-                )
+                section["interval_s"] = args.checkpoint_interval
         if args.trace:
-            runtime_overrides["trace_path"] = args.trace
+            scenario.setdefault("telemetry", {})["trace_path"] = args.trace
         if args.profile:
-            runtime_overrides["profile"] = True
+            scenario.setdefault("telemetry", {})["profile"] = True
         if args.hybrid_select:
             # Selecting a foreground implies the hybrid engine.
             scenario["engine"] = "hybrid"
-            scenario["hybrid_select"] = args.hybrid_select
+            scenario.setdefault("hybrid", {})["select"] = args.hybrid_select
         if args.hybrid_sync_interval:
-            scenario["hybrid_sync_interval_s"] = args.hybrid_sync_interval
+            scenario.setdefault("hybrid", {})[
+                "sync_interval_s"
+            ] = args.hybrid_sync_interval
         if args.control:
             scenario["control"] = args.control
         if args.wire_client:
             scenario["control"] = "wire"
-            scenario["wire_client"] = args.wire_client
+            scenario.setdefault("wire", {})["client"] = args.wire_client
         if args.wire_listen:
-            runtime_overrides["wire_listen"] = args.wire_listen
-        if runtime_overrides:
-            runtime = dict(scenario.get("runtime") or {})
-            runtime.update(runtime_overrides)
-            scenario["runtime"] = runtime
-        horse, fabric = build_horse(scenario, solver=args.solver)
-        count = _build_traffic(scenario.get("traffic", {}), horse, fabric)
-        print(f"scenario: {args.scenario} ({count} flows submitted)")
-        try:
-            result = horse.run(until=args.until or scenario.get("until"))
-        finally:
-            horse.shutdown_wire()
-        if args.checkpoint and not args.checkpoint_interval:
-            # No periodic ticker: snapshot the final state explicitly.
-            horse.checkpoint(args.checkpoint)
-            print(f"wrote checkpoint to {args.checkpoint}")
+            scenario.setdefault("wire", {})["listen"] = args.wire_listen
+        if args.shards is not None or args.shard_quantum is not None:
+            shards = shard_section(scenario)
+            if args.shards is not None:
+                shards["count"] = args.shards
+            if args.shard_quantum is not None:
+                shards["quantum_s"] = args.shard_quantum
+            scenario["shards"] = shards
+        validate_scenario(scenario)
+        if args.until is not None:
+            scenario["until"] = args.until
+        if int(shard_section(scenario).get("count", 1)) > 1:
+            if args.checkpoint or args.metrics or args.trace:
+                raise ExperimentError(
+                    "--checkpoint/--metrics/--trace are per-process "
+                    "features; they are not available on a sharded run"
+                )
+            horse, result, count = run_scenario(scenario, solver=args.solver)
+            print(f"scenario: {args.scenario} ({count} flows submitted, "
+                  f"{shard_section(scenario)['count']} shards)")
+        else:
+            horse, fabric = build_horse(scenario, solver=args.solver)
+            count = _build_traffic(scenario.get("traffic", {}), horse, fabric)
+            print(f"scenario: {args.scenario} ({count} flows submitted)")
+            try:
+                result = horse.run(until=scenario.get("until"))
+            finally:
+                horse.shutdown_wire()
+            if args.checkpoint and not args.checkpoint_interval:
+                # No periodic ticker: snapshot the final state explicitly.
+                horse.checkpoint(args.checkpoint)
+                print(f"wrote checkpoint to {args.checkpoint}")
     print(summary_text(result))
     if args.check_digest:
         digest = run_digest(result)
@@ -139,11 +166,11 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.json:
         result_to_json(result, args.json)
         print(f"wrote run document to {args.json}")
-    if args.metrics:
+    if args.metrics and horse is not None:
         with open(args.metrics, "w") as handle:
             handle.write(horse.telemetry.prometheus())
         print(f"wrote metrics exposition to {args.metrics}")
-    if horse.telemetry.tracing_enabled:
+    if horse is not None and horse.telemetry.tracing_enabled:
         bus = horse.telemetry.trace
         emitted = bus.emitted
         horse.telemetry.disable_tracing()
@@ -158,16 +185,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
     reset_id_counters()
     with open(args.scenario) as handle:
         scenario = json.load(handle)
+    scenario = ensure_v1(scenario)
     scenario["control"] = "wire"
-    scenario.pop("wire_client", None)  # serve = external controller
-    runtime = dict(scenario.get("runtime") or {})
+    wire = scenario.setdefault("wire", {})
+    wire.pop("client", None)  # serve = external controller
     if args.listen:
-        runtime["wire_listen"] = args.listen
+        wire["listen"] = args.listen
     if args.budget:
-        runtime["wire_latency_budget_s"] = args.budget
+        wire["latency_budget_s"] = args.budget
     if args.dilation is not None:
-        runtime["wire_dilation"] = args.dilation
-    scenario["runtime"] = runtime
+        wire["dilation"] = args.dilation
     horse, fabric = build_horse(scenario, solver=None)
     count = _build_traffic(scenario.get("traffic", {}), horse, fabric)
 
@@ -233,9 +260,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
         reset_id_counters()
         with open(args.scenario) as handle:
             scenario = json.load(handle)
-        runtime = dict(scenario.get("runtime") or {})
-        runtime["trace_path"] = args.out
-        scenario["runtime"] = runtime
+        scenario = ensure_v1(scenario)
+        scenario.setdefault("telemetry", {})["trace_path"] = args.out
         horse, fabric = build_horse(scenario, solver=args.solver)
         count = _build_traffic(scenario.get("traffic", {}), horse, fabric)
         print(f"scenario: {args.scenario} ({count} flows submitted)")
@@ -397,10 +423,47 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code(strict=args.strict)
 
 
+def cmd_migrate_scenario(args: argparse.Namespace) -> int:
+    """Rewrite a legacy (v0) scenario document to schema v1."""
+    with open(args.scenario) as handle:
+        doc = json.load(handle)
+    if "grid" in doc and "base" in doc:
+        # A sweep spec: the scenario lives under "base"; the top-level
+        # "runtime" section is the pool's (retries/backoff/workers).
+        migrated = dict(doc)
+        migrated["base"], notes = migrate_scenario(doc["base"])
+        validate_scenario(migrated["base"])
+        notes = [f"base.{note}" for note in notes]
+    else:
+        migrated, notes = migrate_scenario(doc)
+        validate_scenario(migrated)
+    text = json.dumps(migrated, indent=2) + "\n"
+    for note in notes:
+        print(f"  {note}", file=sys.stderr)
+    if not notes:
+        print(f"{args.scenario}: already at schema v{SCHEMA_VERSION}",
+              file=sys.stderr)
+    if args.in_place:
+        with open(args.scenario, "w") as handle:
+            handle.write(text)
+        print(f"rewrote {args.scenario}", file=sys.stderr)
+    elif args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def cmd_topo(args: argparse.Namespace) -> int:
     spec = {"kind": args.kind}
     if args.k is not None:
         spec["k"] = args.k
+    if args.pods is not None:
+        spec["pods"] = args.pods
+    if args.hosts_per_pod is not None:
+        spec["hosts_per_pod"] = args.hosts_per_pod
     if args.members is not None:
         spec["members"] = args.members
     if args.switches is not None:
@@ -497,6 +560,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         metavar="SECONDS",
         help="hybrid foreground/background coupling cadence",
+    )
+    run_p.add_argument(
+        "--shards",
+        type=int,
+        metavar="K",
+        help="run on the sharded parallel runtime with K domains "
+        "(1 = the ordinary single-process engine, bitwise-identical)",
+    )
+    run_p.add_argument(
+        "--shard-quantum",
+        type=float,
+        metavar="SECONDS",
+        help="shard synchronization quantum (default: derived from the "
+        "minimum cross-shard link latency)",
     )
     run_p.add_argument(
         "--check-digest",
@@ -725,13 +802,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_p.set_defaults(func=cmd_lint)
 
+    mig_p = sub.add_parser(
+        "migrate-scenario",
+        help="rewrite a legacy (v0) scenario file to schema v1",
+    )
+    mig_p.add_argument("scenario", help="scenario JSON path")
+    mig_p.add_argument(
+        "--out", metavar="PATH", help="write here instead of stdout"
+    )
+    mig_p.add_argument(
+        "--in-place",
+        action="store_true",
+        help="overwrite the input file",
+    )
+    mig_p.set_defaults(func=cmd_migrate_scenario)
+
     topo_p = sub.add_parser("topo", help="generate a topology file")
     topo_p.add_argument(
         "--kind",
         required=True,
-        choices=["fat-tree", "leaf-spine", "linear", "star", "ixp"],
+        choices=["fat-tree", "leaf-spine", "linear", "star", "pods", "ixp"],
     )
     topo_p.add_argument("--k", type=int, help="fat-tree arity")
+    topo_p.add_argument("--pods", type=int, help="pod count (kind=pods)")
+    topo_p.add_argument(
+        "--hosts-per-pod", type=int, help="hosts per pod (kind=pods)"
+    )
     topo_p.add_argument("--members", type=int, help="IXP member count")
     topo_p.add_argument("--switches", type=int, help="linear chain length")
     topo_p.add_argument("--hosts", type=int, help="star host count")

@@ -1,14 +1,256 @@
-"""Configuration for the Horse simulator façade."""
+"""Configuration for the Horse simulator façade.
+
+:class:`HorseConfig` groups the run knobs into nested sections —
+:class:`HybridConfig`, :class:`WireConfig`, :class:`TelemetryConfig`,
+:class:`CheckpointConfig`, and :class:`ShardConfig` — instead of the
+flat ``wire_*`` / ``hybrid_*`` / ``monitor_*`` / ``checkpoint_*``
+keyword soup the first eight iterations accreted.  The old flat
+constructor keywords (and flat attribute reads) still work through a
+deprecation shim that warns once per key; new code should write::
+
+    HorseConfig(engine="hybrid",
+                hybrid=HybridConfig(select="top:4"),
+                telemetry=TelemetryConfig(monitor_interval_s=0.5))
+
+Scenario JSON documents mirror the same sections (``"schema_version":
+1``; see :mod:`repro.runtime.schema` for the v0 migrator).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
 
 from ..errors import ExperimentError
 
+#: Flat keys already warned about in this process (warn-once semantics).
+_WARNED_FLAT_KEYS: Set[str] = set()
+
+
+def reset_deprecation_warnings() -> None:
+    """Forget which deprecated flat keys have warned (test hook)."""
+    _WARNED_FLAT_KEYS.clear()
+
+
+def _warn_flat_key(key: str, replacement: str) -> None:
+    """Warn about a deprecated flat config key, once per key per process."""
+    if key in _WARNED_FLAT_KEYS:
+        return
+    _WARNED_FLAT_KEYS.add(key)
+    warnings.warn(
+        f"HorseConfig flat key {key!r} is deprecated; use {replacement}",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
 
 @dataclass
+class HybridConfig:
+    """Hybrid flow/packet co-simulation knobs (``engine="hybrid"``).
+
+    Attributes
+    ----------
+    select:
+        Foreground selection spec: ``none``, ``all``, ``top:K``, or
+        ``match:field=value[,...]`` (see
+        :class:`repro.hybrid.SelectionPolicy`).
+    sync_interval_s:
+        Cadence of the foreground/background coupling exchange
+        (seconds of simulated time).
+    """
+
+    select: str = "none"
+    sync_interval_s: float = 0.05
+
+
+@dataclass
+class WireConfig:
+    """External OpenFlow 1.3 control-plane gateway knobs
+    (``control="wire"``; see :mod:`repro.wire`).
+
+    Attributes
+    ----------
+    listen:
+        ``"host:port"`` to listen on (port 0 picks a free port).
+    client:
+        None to wait for an external controller, or ``"learning"`` /
+        ``"static"`` to run the built-in client in a thread against
+        this run's own listener (self-driven loopback).
+    client_routes:
+        Route dicts for ``client="static"``.
+    sync_quantum_s:
+        Simulated time between control-plane synchronization points.
+    latency_budget_s:
+        Wall-clock seconds to wait for a controller answer.
+    dilation:
+        Simulated seconds charged per wall-clock second of controller
+        thinking time (0 reproduces the synchronous in-proc channel).
+    """
+
+    listen: str = "127.0.0.1:0"
+    client: Optional[str] = None
+    client_routes: Optional[list] = None
+    sync_quantum_s: float = 0.05
+    latency_budget_s: float = 5.0
+    dilation: float = 0.0
+
+    def parsed_listen(self) -> tuple:
+        """``listen`` split into ``(host, port)``."""
+        host, sep, port = str(self.listen).rpartition(":")
+        if not sep or not host:
+            raise ExperimentError(
+                f"wire.listen must be 'host:port', got {self.listen!r}"
+            )
+        try:
+            return host, int(port)
+        except ValueError:
+            raise ExperimentError(
+                f"wire.listen port must be an integer, got {port!r}"
+            ) from None
+
+
+@dataclass
+class TelemetryConfig:
+    """Observation knobs: monitoring, link sampling, tracing, profiling.
+
+    Attributes
+    ----------
+    monitor_interval_s:
+        Port-stats sampling period; None disables monitoring.
+    monitor_threshold:
+        Utilization above which the monitor flags a port.
+    monitor_mode:
+        ``"poll"`` (the monitor reads counters itself) or ``"push"``
+        (the channel pushes counter samples; docs/observability.md).
+    monitor_push_min_delta_bytes:
+        Push mode only: suppress a push unless some port counter moved
+        at least this much since the last delivered push.
+    link_sample_interval_s:
+        Utilization sampling period for the stats collector; None
+        disables sampling.
+    trace_path:
+        When set, structured tracing is enabled for the whole run and
+        records are appended (JSONL) to this path.
+    profile:
+        Enable per-phase wall-clock profiling, reported under
+        ``engine_stats["profile"]`` (wall-clock content — leave off
+        for byte-compared reports).
+    """
+
+    monitor_interval_s: Optional[float] = None
+    monitor_threshold: float = 0.9
+    monitor_mode: str = "poll"
+    monitor_push_min_delta_bytes: float = 0.0
+    link_sample_interval_s: Optional[float] = None
+    trace_path: Optional[str] = None
+    profile: bool = False
+
+
+@dataclass
+class CheckpointConfig:
+    """Checkpoint/restore knobs (see :mod:`repro.runtime`).
+
+    Attributes
+    ----------
+    path:
+        Target for :meth:`Horse.checkpoint` calls; with ``interval_s``
+        also the periodic-checkpoint destination.
+    interval_s:
+        Simulated seconds between periodic checkpoints (needs
+        ``path``); None disables the ticker.
+    """
+
+    path: Optional[str] = None
+    interval_s: Optional[float] = None
+
+
+@dataclass
+class ShardConfig:
+    """Sharded parallel-runtime knobs (see :mod:`repro.shard`).
+
+    Attributes
+    ----------
+    count:
+        Number of shard domains.  1 (default) runs the ordinary
+        single-process engine — bitwise-identical results.  k > 1
+        partitions the topology into k domains, runs each in a worker
+        process with its own kernel/clock/solver, and synchronizes
+        conservatively at quantum boundaries.
+    quantum_s:
+        Synchronization quantum (simulated seconds).  None derives it
+        from the minimum cross-shard link latency (the conservative
+        lookahead), floored at :data:`repro.shard.MIN_QUANTUM_S`; with
+        no cross-shard links the whole horizon is one quantum.
+    partition:
+        ``"greedy"`` (METIS-style greedy edge-cut over link
+        capacities) or an explicit list of node-name lists, one per
+        shard (hosts follow their attachment switch when omitted).
+    checkpoint_dir:
+        When set, every shard checkpoints its state here at each
+        quantum boundary, so a crashed shard restarts from its last
+        boundary instead of replaying from t=0.
+    """
+
+    count: int = 1
+    quantum_s: Optional[float] = None
+    partition: object = "greedy"
+    checkpoint_dir: Optional[str] = None
+
+
+#: Deprecated flat constructor key -> (nested section, field name).
+FLAT_KEY_MAP: Dict[str, Tuple[str, str]] = {
+    "hybrid_select": ("hybrid", "select"),
+    "hybrid_sync_interval_s": ("hybrid", "sync_interval_s"),
+    "wire_listen": ("wire", "listen"),
+    "wire_client": ("wire", "client"),
+    "wire_client_routes": ("wire", "client_routes"),
+    "wire_sync_quantum_s": ("wire", "sync_quantum_s"),
+    "wire_latency_budget_s": ("wire", "latency_budget_s"),
+    "wire_dilation": ("wire", "dilation"),
+    "monitor_interval_s": ("telemetry", "monitor_interval_s"),
+    "monitor_threshold": ("telemetry", "monitor_threshold"),
+    "monitor_mode": ("telemetry", "monitor_mode"),
+    "monitor_push_min_delta_bytes": ("telemetry", "monitor_push_min_delta_bytes"),
+    "link_sample_interval_s": ("telemetry", "link_sample_interval_s"),
+    "trace_path": ("telemetry", "trace_path"),
+    "profile": ("telemetry", "profile"),
+    "checkpoint_path": ("checkpoint", "path"),
+    "checkpoint_interval_s": ("checkpoint", "interval_s"),
+}
+
+#: Section attribute name -> its dataclass type.
+SECTION_TYPES = {
+    "hybrid": HybridConfig,
+    "wire": WireConfig,
+    "telemetry": TelemetryConfig,
+    "checkpoint": CheckpointConfig,
+    "shard": ShardConfig,
+}
+
+
+def _coerce_section(value, section: str):
+    """Accept a section instance, a plain dict, or None (defaults)."""
+    cls = SECTION_TYPES[section]
+    if value is None:
+        return cls()
+    if isinstance(value, cls):
+        return value
+    if isinstance(value, dict):
+        fields = {f for f in cls.__dataclass_fields__}
+        unknown = sorted(set(value) - fields)
+        if unknown:
+            raise ExperimentError(
+                f"unknown {section} config key(s): {', '.join(unknown)}"
+            )
+        return cls(**value)
+    raise ExperimentError(
+        f"{section} must be a {cls.__name__}, a dict, or None, "
+        f"got {type(value).__name__}"
+    )
+
+
+@dataclass(init=False)
 class HorseConfig:
     """Top-level knobs for a :class:`~repro.core.simulator.Horse` run.
 
@@ -24,23 +266,11 @@ class HorseConfig:
     control_latency_s:
         One-way control channel delay; 0 means the poster's synchronous
         abstraction.
-    monitor_interval_s:
-        Port-stats sampling period; None disables monitoring.
-    monitor_mode:
-        ``"poll"`` (the monitor reads counters itself, default) or
-        ``"push"`` (the channel pushes counter samples to a
-        subscription; see docs/observability.md).
-    monitor_push_min_delta_bytes:
-        Push mode only: suppress a push unless some port counter moved
-        at least this much since the last delivered push.
-    link_sample_interval_s:
-        Utilization sampling period for the stats collector; None
-        disables sampling.
     solver:
         Flow engine only: rate-solver strategy.  ``"incremental"``
         (default) re-solves only the link-sharing components an event
         touched; ``"full"`` re-solves everything through the same
-        kernel (reference mode, bitwise-identical rates);  ``"vector"``
+        kernel (reference mode, bitwise-identical rates); ``"vector"``
         uses the flat slot-array solve over all active flows.
     route_cache:
         Flow engine only: reuse pipeline walks across flows whose
@@ -56,63 +286,28 @@ class HorseConfig:
     entry_expiry_interval_s:
         Flow engine: period of the rule-timeout sweep; None disables it
         (enable when policies use idle/hard timeouts).
-    trace_path:
-        When set, structured tracing is enabled for the whole run and
-        records are appended (JSONL) to this path.
-    profile:
-        Enable per-phase wall-clock profiling; the phase breakdown is
-        reported under ``engine_stats["profile"]`` (wall-clock content —
-        leave off for byte-compared reports).
-    hybrid_select:
-        Hybrid engine only: foreground selection spec (``none``,
-        ``all``, ``top:K``, or ``match:field=value[,...]``; see
-        :class:`repro.hybrid.SelectionPolicy`).
-    hybrid_sync_interval_s:
-        Hybrid engine only: cadence of the foreground/background
-        coupling exchange (seconds of simulated time).
     control:
         ``"inproc"`` (the poster's in-process controller objects,
         default) or ``"wire"`` (real OpenFlow 1.3 TCP connections via
-        :mod:`repro.wire`; the follow-up paper's external control
-        plane).  Wire control requires ``control_latency_s == 0`` —
-        latency comes from the wall clock through the time gate — and
-        is incompatible with in-process policies/controllers.
-    wire_listen:
-        Wire control only: ``"host:port"`` to listen on (default
-        ``"127.0.0.1:0"``; port 0 picks a free port).
-    wire_client:
-        Wire control only: None to wait for an external controller, or
-        ``"learning"``/``"static"`` to run the built-in client in a
-        thread against this run's own listener (self-driven loopback).
-    wire_client_routes:
-        Wire control only: route dicts for ``wire_client="static"``.
-    wire_sync_quantum_s:
-        Wire control only: how much simulated time may pass between
-        control-plane synchronization points (see
-        :class:`repro.wire.TimeGate`).
-    wire_latency_budget_s:
-        Wire control only: wall-clock seconds to wait for a controller
-        answer before giving up on it.
-    wire_dilation:
-        Wire control only: simulated seconds charged per wall-clock
-        second of controller thinking time.  0 (default) reproduces the
-        synchronous in-process channel exactly.
-    checkpoint_path / checkpoint_interval_s:
-        When both are set, the run checkpoints its complete state to
-        ``checkpoint_path`` every ``checkpoint_interval_s`` simulated
-        seconds (atomically — a crash mid-write keeps the previous
-        checkpoint).  ``checkpoint_path`` alone just names the default
-        target for explicit :meth:`Horse.checkpoint` calls.
+        :mod:`repro.wire`).  Wire control requires
+        ``control_latency_s == 0`` — latency comes from the wall clock
+        through the time gate — and is incompatible with in-process
+        policies/controllers.
+    hybrid / wire / telemetry / checkpoint / shard:
+        Nested sections; see :class:`HybridConfig`,
+        :class:`WireConfig`, :class:`TelemetryConfig`,
+        :class:`CheckpointConfig`, :class:`ShardConfig`.  Each accepts
+        an instance or a plain dict.
+
+    Deprecated flat keywords (``wire_listen``, ``hybrid_select``,
+    ``monitor_interval_s``, ``checkpoint_path``, ...) are still
+    accepted — mapped into the nested sections with a once-per-key
+    :class:`DeprecationWarning` (see :data:`FLAT_KEY_MAP`).
     """
 
     engine: str = "flow"
     seed: int = 0
     control_latency_s: float = 0.0
-    monitor_interval_s: Optional[float] = None
-    monitor_threshold: float = 0.9
-    monitor_mode: str = "poll"
-    monitor_push_min_delta_bytes: float = 0.0
-    link_sample_interval_s: Optional[float] = None
     solver: str = "incremental"
     route_cache: bool = True
     incremental_solver: bool = False
@@ -123,21 +318,90 @@ class HorseConfig:
     entry_expiry_interval_s: Optional[float] = None
     mean_packet_bytes: int = 1000
     max_hops: int = 64
-    hybrid_select: str = "none"
-    hybrid_sync_interval_s: float = 0.05
-    trace_path: Optional[str] = None
-    profile: bool = False
-    checkpoint_path: Optional[str] = None
-    checkpoint_interval_s: Optional[float] = None
     control: str = "inproc"
-    wire_listen: str = "127.0.0.1:0"
-    wire_client: Optional[str] = None
-    wire_client_routes: Optional[list] = None
-    wire_sync_quantum_s: float = 0.05
-    wire_latency_budget_s: float = 5.0
-    wire_dilation: float = 0.0
+    hybrid: HybridConfig = field(default_factory=HybridConfig)
+    wire: WireConfig = field(default_factory=WireConfig)
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
+    shard: ShardConfig = field(default_factory=ShardConfig)
 
-    def __post_init__(self) -> None:
+    def __init__(
+        self,
+        engine: str = "flow",
+        seed: int = 0,
+        control_latency_s: float = 0.0,
+        solver: str = "incremental",
+        route_cache: bool = True,
+        incremental_solver: bool = False,
+        mtu_bytes: int = 1500,
+        queue_capacity_packets: int = 100,
+        pipeline_tables: int = 1,
+        table_size: Optional[int] = None,
+        entry_expiry_interval_s: Optional[float] = None,
+        mean_packet_bytes: int = 1000,
+        max_hops: int = 64,
+        control: str = "inproc",
+        hybrid=None,
+        wire=None,
+        telemetry=None,
+        checkpoint=None,
+        shard=None,
+        **flat,
+    ) -> None:
+        self.engine = engine
+        self.seed = seed
+        self.control_latency_s = control_latency_s
+        self.solver = solver
+        self.route_cache = route_cache
+        self.incremental_solver = incremental_solver
+        self.mtu_bytes = mtu_bytes
+        self.queue_capacity_packets = queue_capacity_packets
+        self.pipeline_tables = pipeline_tables
+        self.table_size = table_size
+        self.entry_expiry_interval_s = entry_expiry_interval_s
+        self.mean_packet_bytes = mean_packet_bytes
+        self.max_hops = max_hops
+        self.control = control
+        self.hybrid = _coerce_section(hybrid, "hybrid")
+        self.wire = _coerce_section(wire, "wire")
+        self.telemetry = _coerce_section(telemetry, "telemetry")
+        self.checkpoint = _coerce_section(checkpoint, "checkpoint")
+        self.shard = _coerce_section(shard, "shard")
+        explicit_sections = {
+            name
+            for name, value in (
+                ("hybrid", hybrid),
+                ("wire", wire),
+                ("telemetry", telemetry),
+                ("checkpoint", checkpoint),
+                ("shard", shard),
+            )
+            if value is not None
+        }
+        for key, value in flat.items():
+            target = FLAT_KEY_MAP.get(key)
+            if target is None:
+                raise ExperimentError(
+                    f"unknown HorseConfig argument {key!r}"
+                )
+            section, name = target
+            if section in explicit_sections:
+                raise ExperimentError(
+                    f"both {key!r} and the {section!r} section were given; "
+                    f"drop the deprecated flat key and set {section}.{name}"
+                )
+            _warn_flat_key(key, f"{section}.{name}")
+            setattr(getattr(self, section), name, value)
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check cross-field consistency; raises
+        :class:`~repro.errors.ExperimentError` on the first violation.
+        Called by the constructor; call again after mutating sections.
+        """
         if self.engine not in ("flow", "packet", "hybrid"):
             raise ExperimentError(
                 f"engine must be 'flow', 'packet', or 'hybrid', got {self.engine!r}"
@@ -153,14 +417,18 @@ class HorseConfig:
                     "hybrid engine requires an indexed solver "
                     "(solver='incremental' or 'full'), not 'vector'"
                 )
-            if self.hybrid_sync_interval_s <= 0:
-                raise ExperimentError("hybrid_sync_interval_s must be > 0")
-        if self.monitor_mode not in ("poll", "push"):
+            if self.hybrid.sync_interval_s <= 0:
+                raise ExperimentError("hybrid.sync_interval_s must be > 0")
+        tel = self.telemetry
+        if tel.monitor_mode not in ("poll", "push"):
             raise ExperimentError(
-                f"monitor_mode must be 'poll' or 'push', got {self.monitor_mode!r}"
+                "telemetry.monitor_mode must be 'poll' or 'push', "
+                f"got {tel.monitor_mode!r}"
             )
-        if self.monitor_push_min_delta_bytes < 0:
-            raise ExperimentError("monitor_push_min_delta_bytes must be >= 0")
+        if tel.monitor_push_min_delta_bytes < 0:
+            raise ExperimentError(
+                "telemetry.monitor_push_min_delta_bytes must be >= 0"
+            )
         if self.control_latency_s < 0:
             raise ExperimentError("control latency must be >= 0")
         if self.pipeline_tables < 1:
@@ -175,26 +443,53 @@ class HorseConfig:
                     "wire control requires control_latency_s == 0 "
                     "(latency comes from the wall clock via the time gate)"
                 )
-            if self.wire_sync_quantum_s <= 0:
-                raise ExperimentError("wire_sync_quantum_s must be > 0")
-            if self.wire_latency_budget_s <= 0:
-                raise ExperimentError("wire_latency_budget_s must be > 0")
-            if self.wire_dilation < 0:
-                raise ExperimentError("wire_dilation must be >= 0")
-            if self.wire_client not in (None, "learning", "static"):
+            if self.wire.sync_quantum_s <= 0:
+                raise ExperimentError("wire.sync_quantum_s must be > 0")
+            if self.wire.latency_budget_s <= 0:
+                raise ExperimentError("wire.latency_budget_s must be > 0")
+            if self.wire.dilation < 0:
+                raise ExperimentError("wire.dilation must be >= 0")
+            if self.wire.client not in (None, "learning", "static"):
                 raise ExperimentError(
-                    "wire_client must be None, 'learning', or 'static', "
-                    f"got {self.wire_client!r}"
+                    "wire.client must be None, 'learning', or 'static', "
+                    f"got {self.wire.client!r}"
                 )
-            self.parsed_wire_listen()  # validates host:port early
-        if self.checkpoint_interval_s is not None:
-            if self.checkpoint_interval_s <= 0:
-                raise ExperimentError("checkpoint interval must be > 0")
-            if not self.checkpoint_path:
+            self.wire.parsed_listen()  # validates host:port early
+        if self.checkpoint.interval_s is not None:
+            if self.checkpoint.interval_s <= 0:
+                raise ExperimentError("checkpoint.interval_s must be > 0")
+            if not self.checkpoint.path:
                 raise ExperimentError(
-                    "checkpoint_interval_s needs a checkpoint_path"
+                    "checkpoint.interval_s needs a checkpoint.path"
+                )
+        sh = self.shard
+        if sh.count < 1:
+            raise ExperimentError(f"shard.count must be >= 1, got {sh.count}")
+        if sh.quantum_s is not None and sh.quantum_s <= 0:
+            raise ExperimentError("shard.quantum_s must be > 0")
+        if not (sh.partition == "greedy" or isinstance(sh.partition, (list, tuple))):
+            raise ExperimentError(
+                "shard.partition must be 'greedy' or a list of node-name "
+                f"lists, got {sh.partition!r}"
+            )
+        if sh.count > 1:
+            if self.engine != "flow":
+                raise ExperimentError(
+                    "sharded runs (shard.count > 1) require engine='flow'"
+                )
+            if self.control != "inproc":
+                raise ExperimentError(
+                    "sharded runs (shard.count > 1) require control='inproc'"
+                )
+            if self.resolved_solver() == "vector":
+                raise ExperimentError(
+                    "sharded runs need an indexed solver for boundary "
+                    "demand exchange (solver='incremental' or 'full')"
                 )
 
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
     def resolved_solver(self) -> str:
         """The effective solver, honouring the deprecated boolean."""
         if self.incremental_solver:
@@ -202,15 +497,27 @@ class HorseConfig:
         return self.solver
 
     def parsed_wire_listen(self) -> tuple:
-        """``wire_listen`` split into ``(host, port)``."""
-        host, sep, port = str(self.wire_listen).rpartition(":")
-        if not sep or not host:
-            raise ExperimentError(
-                f"wire_listen must be 'host:port', got {self.wire_listen!r}"
-            )
-        try:
-            return host, int(port)
-        except ValueError:
-            raise ExperimentError(
-                f"wire_listen port must be an integer, got {port!r}"
-            ) from None
+        """``wire.listen`` split into ``(host, port)``."""
+        return self.wire.parsed_listen()
+
+
+def _flat_shim(flat: str, section: str, name: str) -> property:
+    """A property proxying a deprecated flat attribute to its nested
+    section field, warning once per key per process."""
+
+    def getter(self):
+        _warn_flat_key(flat, f"{section}.{name}")
+        return getattr(getattr(self, section), name)
+
+    def setter(self, value):
+        _warn_flat_key(flat, f"{section}.{name}")
+        setattr(getattr(self, section), name, value)
+
+    getter.__name__ = flat
+    doc = f"Deprecated alias for ``{section}.{name}`` (warns once)."
+    return property(getter, setter, doc=doc)
+
+
+for _flat, (_section, _name) in FLAT_KEY_MAP.items():
+    setattr(HorseConfig, _flat, _flat_shim(_flat, _section, _name))
+del _flat, _section, _name

@@ -117,11 +117,11 @@ class Horse:
             self.wire = WireRuntime(
                 self.channel,
                 listen=self.config.parsed_wire_listen(),
-                sync_quantum_s=self.config.wire_sync_quantum_s,
-                latency_budget_s=self.config.wire_latency_budget_s,
-                dilation=self.config.wire_dilation,
-                client_mode=self.config.wire_client,
-                client_routes=self.config.wire_client_routes,
+                sync_quantum_s=self.config.wire.sync_quantum_s,
+                latency_budget_s=self.config.wire.latency_budget_s,
+                dilation=self.config.wire.dilation,
+                client_mode=self.config.wire.client,
+                client_routes=self.config.wire.client_routes,
             )
             self.channel.transport = self.wire.transport
             self.wire.transport.bind(self.channel)
@@ -146,8 +146,8 @@ class Horse:
                 self.sim,
                 topology,
                 control=self.channel,
-                select=self.config.hybrid_select,
-                sync_interval_s=self.config.hybrid_sync_interval_s,
+                select=self.config.hybrid.select,
+                sync_interval_s=self.config.hybrid.sync_interval_s,
                 solver=self.config.resolved_solver(),
                 route_cache=self.config.route_cache,
                 mean_packet_bytes=self.config.mean_packet_bytes,
@@ -178,14 +178,14 @@ class Horse:
         registry.register_source("channel", self.channel.stats_snapshot)
         if self.wire is not None:
             registry.register_source("wire", self.wire.metrics)
-        if self.config.profile:
+        if self.config.telemetry.profile:
             self.telemetry.enable_profiling()
-        if self.config.trace_path:
-            self.telemetry.enable_tracing(self.config.trace_path)
+        if self.config.telemetry.trace_path:
+            self.telemetry.enable_tracing(self.config.telemetry.trace_path)
 
         self._monitor: Optional[NetworkMonitor] = None
-        if self.config.monitor_interval_s:
-            self._make_monitor(self.config.monitor_interval_s)
+        if self.config.telemetry.monitor_interval_s:
+            self._make_monitor(self.config.telemetry.monitor_interval_s)
 
         self.collector = RunStatsCollector(topology)
         if isinstance(self.engine, FlowLevelEngine):
@@ -194,16 +194,16 @@ class Horse:
             # Flow lifecycle events come from the fluid background; the
             # packet foreground reports through flow objects directly.
             self.collector.attach_flow_engine(self.engine.background)
-        if self.config.link_sample_interval_s:
+        if self.config.telemetry.link_sample_interval_s:
             self.collector.enable_link_sampling(
-                self.sim, self.config.link_sample_interval_s
+                self.sim, self.config.telemetry.link_sample_interval_s
             )
 
         self._started = False
         #: Horizon of the most recent :meth:`run` call (None = drain).
         self.last_until: Optional[float] = None
 
-        if self.config.checkpoint_interval_s and self.config.checkpoint_path:
+        if self.config.checkpoint.interval_s and self.config.checkpoint.path:
             self._schedule_checkpoint_tick()
 
     # ------------------------------------------------------------------
@@ -213,9 +213,9 @@ class Horse:
         self._monitor = NetworkMonitor(
             self.channel,
             interval=interval,
-            threshold=self.config.monitor_threshold,
-            mode=self.config.monitor_mode,
-            min_delta_bytes=self.config.monitor_push_min_delta_bytes,
+            threshold=self.config.telemetry.monitor_threshold,
+            mode=self.config.telemetry.monitor_mode,
+            min_delta_bytes=self.config.telemetry.monitor_push_min_delta_bytes,
         )
         self._monitor.start()
         self.telemetry.registry.register_source(
@@ -232,7 +232,7 @@ class Horse:
         reactive apps can always be handed a live sample stream.
         """
         if self._monitor is None:
-            self._make_monitor(self.config.monitor_interval_s or 1.0)
+            self._make_monitor(self.config.telemetry.monitor_interval_s or 1.0)
         return self._monitor
 
     # ------------------------------------------------------------------
@@ -250,7 +250,7 @@ class Horse:
         """
         from ..runtime.checkpoint import save_checkpoint
 
-        target = path or self.config.checkpoint_path
+        target = path or self.config.checkpoint.path
         if not target:
             raise ExperimentError(
                 "no checkpoint path given and none configured"
@@ -267,7 +267,7 @@ class Horse:
 
     def _schedule_checkpoint_tick(self) -> None:
         event = CallbackEvent(
-            self.sim.now + self.config.checkpoint_interval_s,
+            self.sim.now + self.config.checkpoint.interval_s,
             self._checkpoint_tick,
         )
         # Housekeeping: a pending checkpoint tick must not keep an
@@ -377,7 +377,7 @@ class Horse:
         ``wire_dilation == 0`` (where every controller exchange resolves
         inline) a gated run is bitwise-identical to an ungated one.
         """
-        quantum = self.config.wire_sync_quantum_s
+        quantum = self.config.wire.sync_quantum_s
         if until is not None:
             while True:
                 step = min(self.sim.now + quantum, until)

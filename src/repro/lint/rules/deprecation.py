@@ -1,0 +1,114 @@
+"""Deprecated-API usage rule (DEP...).
+
+The configuration redesign consolidated ``HorseConfig``'s flat
+runtime knobs (``hybrid_select``, ``wire_listen``,
+``checkpoint_path``, ...) into nested section dataclasses
+(``config.hybrid.select``, ``config.wire.listen``,
+``config.checkpoint.path``).  The flat spellings still work through
+warn-once shims for external callers, but first-party code must use
+the nested surface: a shimmed read in ``src/`` would hide a
+deprecation warning from the user who actually needs to see it, and
+keeps dead API alive past its removal date.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..findings import LintFinding
+from ..registry import Rule, register
+
+#: The deprecated flat spellings and their nested replacements — kept
+#: in sync with ``repro.core.config.FLAT_KEY_MAP`` by
+#: ``tests/test_config_api.py``.
+FLAT_KEYS = {
+    "hybrid_select": "hybrid.select",
+    "hybrid_sync_interval_s": "hybrid.sync_interval_s",
+    "wire_listen": "wire.listen",
+    "wire_client": "wire.client",
+    "wire_client_routes": "wire.client_routes",
+    "wire_sync_quantum_s": "wire.sync_quantum_s",
+    "wire_latency_budget_s": "wire.latency_budget_s",
+    "wire_dilation": "wire.dilation",
+    "monitor_interval_s": "telemetry.monitor_interval_s",
+    "monitor_threshold": "telemetry.monitor_threshold",
+    "monitor_mode": "telemetry.monitor_mode",
+    "monitor_push_min_delta_bytes": "telemetry.monitor_push_min_delta_bytes",
+    "link_sample_interval_s": "telemetry.link_sample_interval_s",
+    "trace_path": "telemetry.trace_path",
+    "profile": "telemetry.profile",
+    "checkpoint_path": "checkpoint.path",
+    "checkpoint_interval_s": "checkpoint.interval_s",
+}
+
+#: Receivers we treat as holding a HorseConfig for attribute reads.
+CONFIG_RECEIVERS = {"config", "cfg", "horse_config"}
+
+
+def _is_config_receiver(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in CONFIG_RECEIVERS
+    if isinstance(node, ast.Attribute):
+        return node.attr in CONFIG_RECEIVERS
+    return False
+
+
+@register
+class DeprecatedFlatConfigRule(Rule):
+    id = "DEP001"
+    name = "flat-config-key"
+    severity = "error"
+    description = (
+        "deprecated flat HorseConfig key used in first-party code; "
+        "use the nested section (config.hybrid/.wire/.telemetry/"
+        ".checkpoint/.shard) instead"
+    )
+    scopes = ()
+
+    def applies(self, module: ModuleContext) -> bool:
+        # The config module defines the shims; it may spell them.
+        parts = module.path_parts
+        for index, part in enumerate(parts[:-1]):
+            if part == "repro" and parts[index + 1 :] in (
+                ("core", "config"),
+            ):
+                return False
+        return True
+
+    def check(self, module: ModuleContext) -> Iterator[LintFinding]:
+        for node in ast.walk(module.tree):
+            # HorseConfig(hybrid_select=...) style construction.
+            if isinstance(node, ast.Call):
+                callee = node.func
+                name = (
+                    callee.id
+                    if isinstance(callee, ast.Name)
+                    else callee.attr
+                    if isinstance(callee, ast.Attribute)
+                    else None
+                )
+                if name != "HorseConfig":
+                    continue
+                for keyword in node.keywords:
+                    replacement = FLAT_KEYS.get(keyword.arg or "")
+                    if replacement:
+                        yield self.finding(
+                            module,
+                            keyword.value.lineno,
+                            f"HorseConfig({keyword.arg}=...) is deprecated; "
+                            f"pass the nested form ({replacement})",
+                            column=keyword.value.col_offset,
+                        )
+            # config.hybrid_select style attribute reads.
+            elif isinstance(node, ast.Attribute):
+                replacement = FLAT_KEYS.get(node.attr)
+                if replacement and _is_config_receiver(node.value):
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"reading deprecated flat key .{node.attr}; "
+                        f"use .{replacement}",
+                        column=node.col_offset,
+                    )

@@ -60,6 +60,33 @@ def single_switch(
     return topo
 
 
+def pods(
+    num_pods: int,
+    hosts_per_pod: int = 4,
+    capacity_bps: float = DEFAULT_HOST_BPS,
+    delay_s: float = DEFAULT_DELAY_S,
+) -> Topology:
+    """Disjoint star pods: ``num_pods`` independent single-switch cells.
+
+    Pod ``p`` has switch ``p{p}s`` and hosts ``p{p}h0 .. p{p}h{n-1}``
+    (the naming the benchmark harness uses).  There are no inter-pod
+    links, so with pod-local traffic the pods are fully independent —
+    the ideal substrate for the sharded runtime's speedup gate and any
+    embarrassingly-parallel scaling study.
+    """
+    if num_pods < 1 or hosts_per_pod < 1:
+        raise TopologyError(
+            f"need >= 1 pod and >= 1 host per pod, got {num_pods}, {hosts_per_pod}"
+        )
+    topo = Topology(name=f"pods-{num_pods}x{hosts_per_pod}")
+    for p in range(num_pods):
+        switch = topo.add_switch(f"p{p}s")
+        for h in range(hosts_per_pod):
+            host = topo.add_host(f"p{p}h{h}")
+            topo.add_link(host, switch, capacity_bps=capacity_bps, delay_s=delay_s)
+    return topo
+
+
 def tree(
     depth: int,
     fanout: int,

@@ -7,31 +7,37 @@ run`` CLI and the sweep workers: both must construct byte-identical
 simulations from the same document for sweep results to be independent
 of where a job executes.
 
-Schema (the ``runtime`` section is new in this module)::
+Schema v1 (see :mod:`repro.runtime.schema`; legacy v0 documents with
+flat ``hybrid_*``/``wire_*`` keys and a ``runtime`` section are
+migrated on load with deprecation warnings)::
 
     {
+      "schema_version": 1,
       "engine": "flow" | "packet" | "hybrid",
       "solver": "incremental" | "full" | "vector",   # flow engine only
       "route_cache": true,                           # flow engine only
-      "hybrid_select": "none" | "all" | "top:K" | "match:...",  # hybrid only
-      "hybrid_sync_interval_s": 0.05,                # hybrid only
       "seed": 0,
       "until": 60.0,
       "topology": {"kind": "fat-tree", "k": 4} | ... | {"file": "topo.json"},
       "policies": { ... },                   # inproc control only
       "control": "inproc" | "wire",
-      "wire_client": null | "learning" | "static",   # wire only
       "traffic":  {"kind": "matrix", ...} | {"kind": "trace", ...},
-      "runtime":  {"checkpoint_path": "run.ckpt",
-                   "checkpoint_interval_s": 5.0,
-                   "monitor_mode": "poll",
-                   "trace_path": "run.trace.jsonl",
-                   "profile": false,
-                   "wire_listen": "127.0.0.1:0",      # wire only
-                   "wire_sync_quantum_s": 0.05,
-                   "wire_latency_budget_s": 5.0,
-                   "wire_dilation": 0.0,
-                   "wire_client_routes": [...]}
+      "hybrid":   {"select": "none" | "all" | "top:K" | "match:...",
+                   "sync_interval_s": 0.05},
+      "wire":     {"client": null | "learning" | "static",
+                   "listen": "127.0.0.1:0",
+                   "sync_quantum_s": 0.05,
+                   "latency_budget_s": 5.0,
+                   "dilation": 0.0,
+                   "client_routes": [...]},
+      "telemetry": {"monitor_interval_s": null, "monitor_mode": "poll",
+                    "monitor_push_min_delta_bytes": 0.0,
+                    "link_sample_interval_s": null,
+                    "trace_path": "run.trace.jsonl", "profile": false},
+      "checkpoint": {"path": "run.ckpt", "interval_s": 5.0},
+      "shards":   4 | {"count": 4, "quantum_s": null,
+                       "partition": "greedy" | [[...], ...],
+                       "checkpoint_dir": null}
     }
 """
 
@@ -42,10 +48,12 @@ from typing import Optional, Tuple
 from ..core import Horse, HorseConfig
 from ..core.results import RunResult
 from ..errors import ExperimentError
-from ..net.generators import fat_tree, leaf_spine, linear, single_switch
+from ..net.generators import fat_tree, leaf_spine, linear, pods, single_switch
 from ..net.io import load_topology
 from ..control.policy.spec import parse_rate
+from ..traffic.flowgen import FlowGenerator
 from ..traffic.matrix import TrafficMatrix
+from .schema import ensure_v1, shard_section, validate_scenario
 
 
 def build_topology(spec: dict):
@@ -74,6 +82,15 @@ def build_topology(spec: dict):
         )
     if kind == "star":
         return single_switch(spec.get("hosts", 4)), None
+    if kind == "pods":
+        return (
+            pods(
+                spec.get("pods", 4),
+                hosts_per_pod=spec.get("hosts_per_pod", 4),
+                capacity_bps=parse_rate(spec.get("capacity", "100 Mbps")),
+            ),
+            None,
+        )
     if kind == "ixp":
         from ..ixp import build_ixp
 
@@ -88,34 +105,22 @@ def build_config(
     """A :class:`HorseConfig` from a scenario document.
 
     ``solver`` overrides the scenario's choice (the ``repro run
-    --solver`` flag).  The scenario's ``runtime`` section supplies the
-    checkpoint knobs.
+    --solver`` flag).  Legacy (v0) documents are migrated in memory
+    first, warning once per deprecated key.
     """
-    runtime = scenario.get("runtime", {}) or {}
+    validate_scenario(scenario)
+    doc = ensure_v1(scenario)
     return HorseConfig(
-        engine=scenario.get("engine", "flow"),
-        solver=solver or scenario.get("solver", "incremental"),
-        route_cache=scenario.get("route_cache", True),
-        hybrid_select=scenario.get("hybrid_select", "none"),
-        hybrid_sync_interval_s=scenario.get("hybrid_sync_interval_s", 0.05),
-        seed=scenario.get("seed", 0),
-        link_sample_interval_s=scenario.get("link_sample_interval_s"),
-        monitor_interval_s=scenario.get("monitor_interval_s"),
-        monitor_mode=runtime.get("monitor_mode", "poll"),
-        monitor_push_min_delta_bytes=runtime.get(
-            "monitor_push_min_delta_bytes", 0.0
-        ),
-        trace_path=runtime.get("trace_path"),
-        profile=runtime.get("profile", False),
-        checkpoint_path=runtime.get("checkpoint_path"),
-        checkpoint_interval_s=runtime.get("checkpoint_interval_s"),
-        control=scenario.get("control", "inproc"),
-        wire_client=scenario.get("wire_client"),
-        wire_listen=runtime.get("wire_listen", "127.0.0.1:0"),
-        wire_client_routes=runtime.get("wire_client_routes"),
-        wire_sync_quantum_s=runtime.get("wire_sync_quantum_s", 0.05),
-        wire_latency_budget_s=runtime.get("wire_latency_budget_s", 5.0),
-        wire_dilation=runtime.get("wire_dilation", 0.0),
+        engine=doc.get("engine", "flow"),
+        solver=solver or doc.get("solver", "incremental"),
+        route_cache=doc.get("route_cache", True),
+        seed=doc.get("seed", 0),
+        control=doc.get("control", "inproc"),
+        hybrid=doc.get("hybrid") or None,
+        wire=doc.get("wire") or None,
+        telemetry=doc.get("telemetry") or None,
+        checkpoint=doc.get("checkpoint") or None,
+        shard=shard_section(doc) or None,
     )
 
 
@@ -123,8 +128,8 @@ def build_horse(
     scenario: dict, solver: Optional[str] = None
 ) -> Tuple[Horse, object]:
     """Build the simulation a scenario describes (traffic not submitted)."""
-    topology, fabric = build_topology(scenario.get("topology", {}))
     config = build_config(scenario, solver=solver)
+    topology, fabric = build_topology(scenario.get("topology", {}))
     if config.control == "wire":
         if scenario.get("policies"):
             raise ExperimentError(
@@ -139,13 +144,21 @@ def build_horse(
     return horse, fabric
 
 
-def build_traffic(spec: dict, horse: Horse, fabric) -> int:
-    """Generate and submit the scenario's traffic; returns flow count."""
+def build_traffic(spec: dict, horse: Horse, fabric, flow_filter=None) -> int:
+    """Generate and submit the scenario's traffic; returns flow count.
+
+    ``flow_filter`` (flow -> bool) drops flows *after* generation, so
+    ids stay identical to an unfiltered build — the shard runtime uses
+    this to give every worker the full deterministic id sequence while
+    submitting only its own domain's flows.
+    """
     kind = spec.get("kind", "matrix")
     if kind == "trace":
         from ..traffic.trace_io import load_trace
 
         flows = load_trace(spec["file"])
+        if flow_filter is not None:
+            flows = [f for f in flows if flow_filter(f)]
         horse.submit_flows(flows)
         return len(flows)
     if kind == "matrix":
@@ -154,6 +167,8 @@ def build_traffic(spec: dict, horse: Horse, fabric) -> int:
         hosts = [h.name for h in horse.topology.hosts]
         if model == "uniform":
             matrix = TrafficMatrix.uniform(hosts, total_bps=total)
+        elif model == "pod-local":
+            matrix = TrafficMatrix.pod_local(hosts, total_bps=total)
         elif model == "gravity-ixp":
             if fabric is None:
                 raise ExperimentError("gravity-ixp traffic needs an ixp topology")
@@ -162,19 +177,36 @@ def build_traffic(spec: dict, horse: Horse, fabric) -> int:
             matrix = ixp_gravity_matrix(fabric, total_bps=total)
         else:
             raise ExperimentError(f"unknown matrix model {model!r}")
-        flows = horse.submit_matrix(
-            matrix,
-            horizon_s=spec.get("horizon_s", 5.0),
-            constant_rate=spec.get("constant_rate", False),
+        generator = FlowGenerator(
+            horse.topology, horse.rngs.stream("traffic")
         )
+        horizon = spec.get("horizon_s", 5.0)
+        if spec.get("constant_rate", False):
+            flows = generator.constant_rate_flows(matrix, duration_s=horizon)
+        else:
+            flows = generator.from_matrix(matrix, horizon_s=horizon)
+        if flow_filter is not None:
+            flows = [f for f in flows if flow_filter(f)]
+        horse.submit_flows(flows)
         return len(flows)
     raise ExperimentError(f"unknown traffic kind {kind!r}")
 
 
 def run_scenario(
     scenario: dict, solver: Optional[str] = None
-) -> Tuple[Horse, RunResult, int]:
-    """Build, load, and run one scenario end to end."""
+) -> Tuple[Optional[Horse], RunResult, int]:
+    """Build, load, and run one scenario end to end.
+
+    With ``"shards": k`` for k > 1 the run executes on the sharded
+    parallel runtime (see :mod:`repro.shard`) and the returned horse is
+    None — the k simulations lived in worker processes.
+    """
+    shards = shard_section(ensure_v1(scenario, warn=False))
+    if int(shards.get("count", 1)) > 1:
+        from ..shard import run_sharded
+
+        result, count = run_sharded(scenario, solver=solver)
+        return None, result, count
     horse, fabric = build_horse(scenario, solver=solver)
     count = build_traffic(scenario.get("traffic", {}), horse, fabric)
     try:

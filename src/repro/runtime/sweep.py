@@ -39,6 +39,7 @@ from ..errors import SweepError
 from ..sim.rng import spawn_seed
 from .pool import run_jobs
 from .scenario import reset_id_counters, run_scenario
+from .schema import ensure_v1
 
 MANIFEST_VERSION = 1
 
@@ -180,17 +181,16 @@ def _sweep_worker(payload: Dict[str, Any]) -> dict:
         os._exit(FAULT_EXIT_CODE)
 
     reset_id_counters()
-    scenario = copy.deepcopy(payload["scenario"])
-    runtime = dict(scenario.get("runtime") or {})
+    scenario = ensure_v1(copy.deepcopy(payload["scenario"]), warn=False)
     # Per-phase wall clock on by default so every job manifests where its
-    # time went; the spec can opt out with {"runtime": {"profile": false}}.
-    runtime.setdefault("profile", True)
+    # time went; the spec can opt out with {"telemetry": {"profile": false}}.
+    scenario.setdefault("telemetry", {}).setdefault("profile", True)
     ckpt_path = payload.get("checkpoint_path")
     interval = payload.get("checkpoint_interval_s")
     if ckpt_path and interval:
-        runtime["checkpoint_path"] = ckpt_path
-        runtime["checkpoint_interval_s"] = interval
-    scenario["runtime"] = runtime
+        section = scenario.setdefault("checkpoint", {})
+        section["path"] = ckpt_path
+        section["interval_s"] = interval
 
     resumed = False
     if ckpt_path and os.path.exists(ckpt_path):

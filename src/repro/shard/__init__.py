@@ -1,0 +1,27 @@
+"""Sharded parallel simulation runtime.
+
+Partitions a scenario's topology into k domains, runs each in its own
+worker process, and synchronizes conservatively at lookahead-derived
+quantum boundaries — intra-run parallelism for simulations too large
+for one core (ROADMAP: "Parallel / distributed simulation").
+
+Entry point: :func:`run_sharded` (or ``"shards": k`` in a scenario /
+``repro run --shards k``).
+"""
+
+from .partition import ShardPlan, partition_topology
+from .runner import (
+    MIN_QUANTUM_S,
+    derive_quantum,
+    quantum_boundaries,
+    run_sharded,
+)
+
+__all__ = [
+    "MIN_QUANTUM_S",
+    "ShardPlan",
+    "derive_quantum",
+    "partition_topology",
+    "quantum_boundaries",
+    "run_sharded",
+]

@@ -1,0 +1,234 @@
+"""Topology partitioning for the sharded runtime.
+
+Splits a topology into ``k`` domains with a METIS-style greedy
+edge-cut heuristic over link capacities: regions grow switch by
+switch, always absorbing the unassigned switch with the most capacity
+into the region (so high-bandwidth clusters stay together and the
+capacity crossing shard boundaries — the traffic that must be
+exchanged every quantum — is minimized).  Hosts follow the switch
+they attach to.  Scenarios can also pin the split exactly with an
+explicit list of node-name lists.
+
+The resulting :class:`ShardPlan` also carries the conservative
+*lookahead*: the minimum propagation delay over cut links, which is
+the longest interval two shards can simulate independently without
+risking a causality violation — the synchronization quantum is derived
+from it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ExperimentError
+from ..net.topology import Topology
+
+
+@dataclass
+class ShardPlan:
+    """The outcome of partitioning: who owns which node, and what the
+    cut looks like.
+
+    Attributes
+    ----------
+    count:
+        Number of shard domains.
+    assignment:
+        node name -> shard index, covering every node.
+    cut_links:
+        ``(a, b, capacity_bps, delay_s)`` for each link whose endpoints
+        live in different shards.
+    lookahead_s:
+        Minimum cut-link propagation delay — the conservative bound on
+        independent progress.  None when the cut is empty (shards are
+        fully independent).
+    """
+
+    count: int
+    assignment: Dict[str, int]
+    cut_links: List[Tuple[str, str, float, float]] = field(default_factory=list)
+    lookahead_s: Optional[float] = None
+
+    def shard_of(self, name: str) -> int:
+        try:
+            return self.assignment[name]
+        except KeyError:
+            raise ExperimentError(f"node {name!r} is not in the shard plan")
+
+    @property
+    def cut_capacity_bps(self) -> float:
+        return sum(entry[2] for entry in self.cut_links)
+
+    def members(self, shard: int) -> List[str]:
+        return sorted(
+            name for name, s in self.assignment.items() if s == shard
+        )
+
+    def summary(self) -> dict:
+        sizes = [0] * self.count
+        for shard in self.assignment.values():
+            sizes[shard] += 1
+        return {
+            "shards": self.count,
+            "sizes": sizes,
+            "cut_links": len(self.cut_links),
+            "cut_capacity_bps": self.cut_capacity_bps,
+            "lookahead_s": self.lookahead_s,
+        }
+
+
+def _switch_adjacency(topology: Topology) -> Dict[str, Dict[str, float]]:
+    """switch name -> {neighbor switch name: total capacity}."""
+    switch_names = {s.name for s in topology.switches}
+    adj: Dict[str, Dict[str, float]] = {name: {} for name in switch_names}
+    for link in topology.links:
+        a, b = link.port_a.node.name, link.port_b.node.name
+        if a in switch_names and b in switch_names:
+            adj[a][b] = adj[a].get(b, 0.0) + link.capacity_bps
+            adj[b][a] = adj[b].get(a, 0.0) + link.capacity_bps
+    return adj
+
+
+def _assign_hosts(topology: Topology, assignment: Dict[str, int]) -> None:
+    """Each unassigned host joins the shard of its highest-capacity
+    attached switch (ties: lexicographically first switch)."""
+    for host in sorted(topology.hosts, key=lambda h: h.name):
+        if host.name in assignment:
+            continue
+        best: Optional[Tuple[float, str]] = None
+        for link in topology.links:
+            other = None
+            a, b = link.port_a.node.name, link.port_b.node.name
+            if a == host.name:
+                other = b
+            elif b == host.name:
+                other = a
+            if other is None or other not in assignment:
+                continue
+            candidate = (link.capacity_bps, other)
+            if best is None or candidate[0] > best[0] or (
+                candidate[0] == best[0] and candidate[1] < best[1]
+            ):
+                best = candidate
+        if best is None:
+            raise ExperimentError(
+                f"host {host.name!r} has no link to an assigned switch; "
+                "list it explicitly in the partition"
+            )
+        assignment[host.name] = assignment[best[1]]
+
+
+def _greedy_partition(topology: Topology, count: int) -> Dict[str, int]:
+    """Region-growing edge-cut over the switch graph.
+
+    Every region grows to ``ceil(|switches| / count)`` by absorbing the
+    unassigned switch with the highest capacity into the region (the
+    gain); zero-gain picks (disconnected components, e.g. independent
+    pods) fall back to the globally best-connected switch, which seeds
+    a new component inside the same shard without adding any cut.
+    """
+    switches = sorted(s.name for s in topology.switches)
+    if not switches:
+        raise ExperimentError("cannot shard a topology with no switches")
+    adj = _switch_adjacency(topology)
+    total_cap = {
+        name: sum(adj[name].values()) for name in switches
+    }
+    target = math.ceil(len(switches) / count)
+    assignment: Dict[str, int] = {}
+    unassigned = set(switches)
+    for shard in range(count):
+        if not unassigned:
+            break
+        region_gain: Dict[str, float] = {}
+
+        def absorb(name: str) -> None:
+            assignment[name] = shard
+            unassigned.discard(name)
+            region_gain.pop(name, None)
+            for neighbor, capacity in adj[name].items():
+                if neighbor in unassigned:
+                    region_gain[neighbor] = (
+                        region_gain.get(neighbor, 0.0) + capacity
+                    )
+
+        # Seed: the best-connected unassigned switch.
+        absorb(min(unassigned, key=lambda n: (-total_cap[n], n)))
+        while len(assignment) < (shard + 1) * target and unassigned:
+            if region_gain:
+                pick = min(
+                    region_gain, key=lambda n: (-region_gain[n], n)
+                )
+            else:
+                pick = min(unassigned, key=lambda n: (-total_cap[n], n))
+            absorb(pick)
+    # Leftovers (rounding) join the last shard.
+    for name in sorted(unassigned):
+        assignment[name] = count - 1
+    return assignment
+
+
+def _explicit_partition(
+    topology: Topology, count: int, groups: Sequence[Sequence[str]]
+) -> Dict[str, int]:
+    if len(groups) != count:
+        raise ExperimentError(
+            f"explicit partition has {len(groups)} groups but "
+            f"shards.count is {count}"
+        )
+    known = {node.name for node in topology.nodes}
+    assignment: Dict[str, int] = {}
+    for shard, group in enumerate(groups):
+        if not isinstance(group, (list, tuple)):
+            raise ExperimentError(
+                "explicit partition must be a list of node-name lists"
+            )
+        for name in group:
+            if name not in known:
+                raise ExperimentError(
+                    f"partition names unknown node {name!r}"
+                )
+            if name in assignment:
+                raise ExperimentError(
+                    f"node {name!r} appears in more than one shard"
+                )
+            assignment[name] = shard
+    for switch in topology.switches:
+        if switch.name not in assignment:
+            raise ExperimentError(
+                f"switch {switch.name!r} is not assigned to any shard"
+            )
+    return assignment
+
+
+def partition_topology(
+    topology: Topology, count: int, partition="greedy"
+) -> ShardPlan:
+    """Split ``topology`` into ``count`` domains.
+
+    ``partition`` is ``"greedy"`` (capacity-weighted region growing) or
+    an explicit list of ``count`` node-name lists; in either case every
+    host not named explicitly follows its attachment switch.
+    """
+    if count < 1:
+        raise ExperimentError(f"shard count must be >= 1, got {count}")
+    if partition == "greedy":
+        assignment = _greedy_partition(topology, count)
+    else:
+        assignment = _explicit_partition(topology, count, partition)
+    _assign_hosts(topology, assignment)
+    cut_links: List[Tuple[str, str, float, float]] = []
+    for link in topology.links:
+        a, b = link.port_a.node.name, link.port_b.node.name
+        if assignment[a] != assignment[b]:
+            cut_links.append((a, b, link.capacity_bps, link.delay_s))
+    cut_links.sort()
+    lookahead = min((c[3] for c in cut_links), default=None)
+    return ShardPlan(
+        count=count,
+        assignment=assignment,
+        cut_links=cut_links,
+        lookahead_s=lookahead,
+    )

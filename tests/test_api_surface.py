@@ -1,0 +1,85 @@
+"""The stable ``repro.api`` facade and its golden-snapshot check.
+
+``repro.api.__all__`` is the supported surface; the committed
+``tools/api-surface.json`` snapshot pins each export's kind and
+signature so CI catches accidental breaks.  These tests run the same
+checker the lint target uses and exercise the facade end to end.
+"""
+
+import importlib
+import json
+import os
+import subprocess
+import sys
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TOOL = os.path.join(ROOT, "tools", "check_api_surface.py")
+SNAPSHOT = os.path.join(ROOT, "tools", "api-surface.json")
+
+
+def test_every_export_resolves():
+    api = importlib.import_module("repro.api")
+    missing = [name for name in api.__all__ if not hasattr(api, name)]
+    assert not missing
+    assert len(api.__all__) == len(set(api.__all__))
+
+
+def test_surface_matches_committed_snapshot():
+    sys.path.insert(0, os.path.dirname(TOOL))
+    try:
+        check = importlib.import_module("check_api_surface")
+    finally:
+        sys.path.pop(0)
+    with open(SNAPSHOT) as handle:
+        snapshot = json.load(handle)
+    current = check.current_surface()
+    problems = check._diff(snapshot, current)
+    assert not problems, "\n".join(problems)
+
+
+def test_checker_fails_on_drift(tmp_path):
+    """A removed export must make the standalone tool exit non-zero."""
+    with open(SNAPSHOT) as handle:
+        snapshot = json.load(handle)
+    snapshot["NoSuchExport"] = {"kind": "function", "signature": "()"}
+    fake = tmp_path / "api-surface.json"
+    fake.write_text(json.dumps(snapshot))
+    source = open(TOOL).read().replace(
+        'SNAPSHOT = os.path.join(ROOT, "tools", "api-surface.json")',
+        f'SNAPSHOT = {str(fake)!r}',
+    )
+    patched = tmp_path / "check_patched.py"
+    patched.write_text(source)
+    proc = subprocess.run(
+        [sys.executable, str(patched)],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+    )
+    assert proc.returncode != 0
+    assert "NoSuchExport" in proc.stderr
+
+
+def test_facade_runs_a_scenario():
+    from repro.api import Scenario
+
+    result = Scenario(
+        {
+            "schema_version": 1,
+            "engine": "flow",
+            "until": 1.0,
+            "topology": {"kind": "star", "hosts": 3},
+            "policies": {
+                "forwarding": {"mode": "shortest-path", "match_on": "ip_dst"}
+            },
+            "traffic": {
+                "kind": "matrix",
+                "model": "uniform",
+                "total": "10 Mbps",
+                "horizon_s": 0.5,
+            },
+        }
+    )
+    _horse, run, count = result.run()
+    assert count > 0
+    assert run.sim_time_s == 1.0

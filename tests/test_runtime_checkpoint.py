@@ -138,7 +138,7 @@ class TestSnapshotSemantics:
         assert os.path.exists(path)
 
     def test_interval_requires_path(self):
-        with pytest.raises(ExperimentError, match="checkpoint_path"):
+        with pytest.raises(ExperimentError, match="checkpoint.path"):
             HorseConfig(checkpoint_interval_s=1.0)
 
     def test_interval_must_be_positive(self):

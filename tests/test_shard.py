@@ -1,0 +1,271 @@
+"""The sharded parallel runtime: partitioning, sync, crash-restart.
+
+Fast end-to-end coverage of :mod:`repro.shard`: the greedy and
+explicit partitioners, the lookahead/quantum derivation, k>1 runs
+matching unsharded results on disjoint and connected topologies, and
+the coordinator's replay-based crash recovery.
+"""
+
+import json
+import os
+import tempfile
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.net.generators import linear, pods, single_switch
+from repro.runtime.scenario import reset_id_counters, run_scenario
+from repro.shard import (
+    MIN_QUANTUM_S,
+    derive_quantum,
+    partition_topology,
+    quantum_boundaries,
+    run_sharded,
+)
+from repro.shard.runner import FAULT_ENV, FAULT_MARKER_ENV
+
+
+def scenario_doc(**overrides) -> dict:
+    doc = {
+        "schema_version": 1,
+        "engine": "flow",
+        "until": 2.0,
+        "seed": 9,
+        "topology": {
+            "kind": "pods",
+            "pods": 2,
+            "hosts_per_pod": 3,
+            "capacity": "100 Mbps",
+        },
+        "policies": {
+            "forwarding": {"mode": "shortest-path", "match_on": "ip_dst"}
+        },
+        "traffic": {
+            "kind": "matrix",
+            "model": "pod-local",
+            "total": "100 Mbps",
+            "horizon_s": 1.0,
+        },
+        "shards": 2,
+    }
+    doc.update(overrides)
+    return doc
+
+
+def run_pair(doc):
+    """(unsharded result, sharded result) for the same document."""
+    unsharded = json.loads(json.dumps(doc))
+    unsharded["shards"] = 1
+    reset_id_counters()
+    _horse, base, base_count = run_scenario(unsharded)
+    reset_id_counters()
+    _none, sharded, sharded_count = run_scenario(doc)
+    assert base_count == sharded_count
+    return base, sharded
+
+
+# ----------------------------------------------------------------------
+# Partitioning
+# ----------------------------------------------------------------------
+def test_greedy_partition_balances_and_covers():
+    topo = pods(4, hosts_per_pod=2)
+    plan = partition_topology(topo, 2)
+    assert plan.count == 2
+    assert set(plan.assignment) == {n.name for n in topo.nodes}
+    sizes = plan.summary()["sizes"]
+    assert sorted(sizes) == sorted(sizes) and sum(sizes) == len(list(topo.nodes))
+    # Disjoint pods: a clean split has no cut at all.
+    assert plan.cut_links == []
+    assert plan.lookahead_s is None
+
+
+def test_greedy_partition_keeps_pods_whole():
+    topo = pods(2, hosts_per_pod=3)
+    plan = partition_topology(topo, 2)
+    for pod in ("p0", "p1"):
+        shards = {
+            plan.shard_of(name)
+            for name in plan.assignment
+            if name.startswith(pod)
+        }
+        assert len(shards) == 1, f"pod {pod} split across shards"
+
+
+def test_connected_topology_has_cut_and_lookahead():
+    topo = linear(4, hosts_per_switch=1)
+    plan = partition_topology(topo, 2)
+    assert plan.cut_links
+    assert plan.lookahead_s is not None and plan.lookahead_s > 0
+    # Hosts follow their attachment switch.
+    for name, shard in plan.assignment.items():
+        if name.startswith("h"):
+            switch = "s" + name[1:]
+            assert shard == plan.shard_of(switch)
+
+
+def test_explicit_partition_respected_and_validated():
+    topo = linear(2, hosts_per_switch=1)
+    plan = partition_topology(topo, 2, [["s1"], ["s2"]])
+    assert plan.shard_of("s1") == 0 and plan.shard_of("s2") == 1
+    with pytest.raises(ExperimentError, match="groups"):
+        partition_topology(topo, 2, [["s1", "s2"]])
+    with pytest.raises(ExperimentError, match="unknown"):
+        partition_topology(topo, 2, [["s1"], ["s99"]])
+    with pytest.raises(ExperimentError, match="more than one"):
+        partition_topology(topo, 2, [["s1", "s2"], ["s2"]])
+
+
+def test_partition_rejects_empty_switchless_topology():
+    topo = single_switch(2)
+    plan = partition_topology(topo, 1)
+    assert plan.count == 1
+
+
+# ----------------------------------------------------------------------
+# Quantum derivation
+# ----------------------------------------------------------------------
+def test_derive_quantum_floors_lookahead():
+    topo = linear(4, hosts_per_switch=1)
+    plan = partition_topology(topo, 2)
+    assert plan.lookahead_s < MIN_QUANTUM_S
+    assert derive_quantum(plan, None) == MIN_QUANTUM_S
+    assert derive_quantum(plan, 0.5) == 0.5
+
+
+def test_quantum_boundaries_end_exactly_at_until():
+    assert quantum_boundaries(1.0, None) == [1.0]
+    assert quantum_boundaries(1.0, 2.0) == [1.0]
+    bounds = quantum_boundaries(1.0, 0.3)
+    assert bounds[-1] == 1.0
+    assert bounds == sorted(bounds)
+    assert all(b > 0 for b in bounds)
+    # Exact divisor: no duplicated final boundary.
+    assert quantum_boundaries(1.0, 0.25) == [0.25, 0.5, 0.75, 1.0]
+
+
+# ----------------------------------------------------------------------
+# End-to-end parity
+# ----------------------------------------------------------------------
+def test_disjoint_pods_sharded_matches_unsharded_exactly():
+    base, sharded = run_pair(scenario_doc())
+    assert sharded.engine_stats["engine"] == "sharded"
+    assert sharded.engine_stats["shards"] == 2
+    reference = {f.flow_id: f for f in base.flows}
+    assert len(reference) == len(sharded.flows)
+    for flow in sharded.flows:
+        ref = reference[flow.flow_id]
+        assert (flow.src, flow.dst) == (ref.src, ref.dst)
+        assert flow.bytes_delivered == pytest.approx(ref.bytes_delivered)
+        assert flow.state == ref.state
+
+
+def test_connected_topology_sharded_close_to_unsharded():
+    doc = scenario_doc(
+        topology={"kind": "linear", "switches": 4, "hosts_per_switch": 2},
+        traffic={
+            "kind": "matrix",
+            "model": "uniform",
+            "total": "50 Mbps",
+            "horizon_s": 1.0,
+        },
+        shards={"count": 2, "quantum_s": 0.5},
+    )
+    base, sharded = run_pair(doc)
+    assert sharded.engine_stats["rounds"] >= 1
+    total_base = sum(f.bytes_delivered for f in base.flows)
+    total_sharded = sum(f.bytes_delivered for f in sharded.flows)
+    assert total_sharded == pytest.approx(total_base, rel=0.05)
+
+
+def test_sharded_dispatch_only_above_one():
+    reset_id_counters()
+    horse, _result, _count = run_scenario(scenario_doc(shards=1))
+    assert horse is not None  # unsharded path keeps the in-process horse
+
+
+# ----------------------------------------------------------------------
+# Guard rails
+# ----------------------------------------------------------------------
+def test_sharded_requires_finite_until():
+    doc = scenario_doc()
+    del doc["until"]
+    with pytest.raises(ExperimentError, match="until"):
+        run_sharded(doc)
+
+
+def test_sharded_rejects_more_shards_than_switches():
+    doc = scenario_doc(shards=5)  # 2 pods -> 2 switches
+    with pytest.raises(ExperimentError, match="shards|switch"):
+        run_sharded(doc)
+
+
+def test_sharded_rejects_packet_engine():
+    doc = scenario_doc(engine="packet")
+    with pytest.raises(ExperimentError, match="flow"):
+        run_sharded(doc)
+
+
+# ----------------------------------------------------------------------
+# Crash-restart
+# ----------------------------------------------------------------------
+def test_crashed_shard_replays_to_identical_result():
+    doc = scenario_doc(
+        topology={"kind": "linear", "switches": 4, "hosts_per_switch": 2},
+        traffic={
+            "kind": "matrix",
+            "model": "uniform",
+            "total": "50 Mbps",
+            "horizon_s": 1.0,
+        },
+        shards={"count": 2, "quantum_s": 0.5},
+    )
+    reset_id_counters()
+    clean, _count = run_sharded(json.loads(json.dumps(doc)))
+    assert clean.engine_stats["restarts"] == 0
+
+    marker = tempfile.mktemp(prefix="repro-shard-test-")
+    os.environ[FAULT_ENV] = "1:1"
+    os.environ[FAULT_MARKER_ENV] = marker
+    try:
+        reset_id_counters()
+        crashed, _count = run_sharded(json.loads(json.dumps(doc)))
+    finally:
+        os.environ.pop(FAULT_ENV, None)
+        os.environ.pop(FAULT_MARKER_ENV, None)
+        if os.path.exists(marker):
+            os.remove(marker)
+    assert crashed.engine_stats["restarts"] == 1
+    reference = {f.flow_id: f.bytes_delivered for f in clean.flows}
+    for flow in crashed.flows:
+        assert flow.bytes_delivered == pytest.approx(reference[flow.flow_id])
+
+
+def test_checkpoint_dir_enables_fast_forward(tmp_path):
+    doc = scenario_doc(
+        topology={"kind": "linear", "switches": 4, "hosts_per_switch": 2},
+        traffic={
+            "kind": "matrix",
+            "model": "uniform",
+            "total": "50 Mbps",
+            "horizon_s": 1.0,
+        },
+        shards={
+            "count": 2,
+            "quantum_s": 0.5,
+            "checkpoint_dir": str(tmp_path),
+        },
+    )
+    marker = tempfile.mktemp(prefix="repro-shard-test-")
+    os.environ[FAULT_ENV] = "0:1"
+    os.environ[FAULT_MARKER_ENV] = marker
+    try:
+        reset_id_counters()
+        crashed, _count = run_sharded(json.loads(json.dumps(doc)))
+    finally:
+        os.environ.pop(FAULT_ENV, None)
+        os.environ.pop(FAULT_MARKER_ENV, None)
+        if os.path.exists(marker):
+            os.remove(marker)
+    assert crashed.engine_stats["restarts"] == 1
+    assert (tmp_path / "shard-0.ckpt").exists()
+    assert (tmp_path / "shard-0.ckpt.round").exists()
