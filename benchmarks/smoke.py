@@ -5,7 +5,9 @@ Runs in about a minute, so CI can afford it on every push.  Two cases:
 - ``smoke_ixp_flow``: IXP-8 replay through the flow engine (the bread
   and butter E2 workload, downsized);
 - ``smoke_hotpath_incremental``: the pod hot-path workload (downsized to
-  8 pods x 60 flows) under the default incremental solver.
+  8 pods x 60 flows) under the default incremental solver;
+- ``smoke_kernel_churn``: the E14 reschedule churn (downsized to 2k
+  timers x 10 rounds) through the compacting kernel.
 
 Each case runs best-of-3 and is normalized by :func:`calibration_score`
 so the committed baseline transfers across machines.  A case fails when
@@ -55,9 +57,21 @@ def _smoke_hotpath_incremental() -> float:
     return wall
 
 
+def _smoke_kernel_churn() -> float:
+    from .bench_e14_kernel import churn_reschedule
+
+    timers_n = 2_000
+    wall, peak, fired, compactions = churn_reschedule(timers_n, 10)
+    assert len(fired) == timers_n
+    assert compactions > 0
+    assert peak <= 2 * timers_n + 64
+    return wall
+
+
 CASES = {
     "smoke_ixp_flow": _smoke_ixp_flow,
     "smoke_hotpath_incremental": _smoke_hotpath_incremental,
+    "smoke_kernel_churn": _smoke_kernel_churn,
 }
 
 

@@ -28,6 +28,7 @@ from .core.config import (
     CheckpointConfig,
     HorseConfig,
     HybridConfig,
+    KernelConfig,
     ShardConfig,
     TelemetryConfig,
     WireConfig,
@@ -76,6 +77,7 @@ __all__ = [
     "TelemetryConfig",
     "CheckpointConfig",
     "ShardConfig",
+    "KernelConfig",
     # Scenario documents
     "SCHEMA_VERSION",
     "Scenario",

@@ -166,6 +166,31 @@ class CheckpointConfig:
 
 
 @dataclass
+class KernelConfig:
+    """Event-kernel knobs: pending-event-set implementation and
+    stale-tombstone compaction (see :mod:`repro.sim.queue`).
+
+    Attributes
+    ----------
+    queue:
+        Pending-event-set implementation: ``"heap"`` (production binary
+        heap) or ``"sorted"`` (the naive E6 ablation baseline).
+    compaction_threshold:
+        Stale (cancelled-tombstone) fraction of the raw heap above
+        which the kernel rebuilds the pending set without tombstones.
+        The default 0.5 bounds the heap at ~2x the live events under
+        cancellation churn; None disables compaction (pure lazy
+        deletion, the pre-E14 behavior).
+    min_compact_size:
+        Raw heap size below which compaction never triggers.
+    """
+
+    queue: str = "heap"
+    compaction_threshold: Optional[float] = 0.5
+    min_compact_size: int = 64
+
+
+@dataclass
 class ShardConfig:
     """Sharded parallel-runtime knobs (see :mod:`repro.shard`).
 
@@ -226,6 +251,7 @@ SECTION_TYPES = {
     "telemetry": TelemetryConfig,
     "checkpoint": CheckpointConfig,
     "shard": ShardConfig,
+    "kernel": KernelConfig,
 }
 
 
@@ -293,11 +319,12 @@ class HorseConfig:
         ``control_latency_s == 0`` — latency comes from the wall clock
         through the time gate — and is incompatible with in-process
         policies/controllers.
-    hybrid / wire / telemetry / checkpoint / shard:
+    hybrid / wire / telemetry / checkpoint / shard / kernel:
         Nested sections; see :class:`HybridConfig`,
         :class:`WireConfig`, :class:`TelemetryConfig`,
-        :class:`CheckpointConfig`, :class:`ShardConfig`.  Each accepts
-        an instance or a plain dict.
+        :class:`CheckpointConfig`, :class:`ShardConfig`,
+        :class:`KernelConfig`.  Each accepts an instance or a plain
+        dict.
 
     Deprecated flat keywords (``wire_listen``, ``hybrid_select``,
     ``monitor_interval_s``, ``checkpoint_path``, ...) are still
@@ -324,6 +351,7 @@ class HorseConfig:
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
     shard: ShardConfig = field(default_factory=ShardConfig)
+    kernel: KernelConfig = field(default_factory=KernelConfig)
 
     def __init__(
         self,
@@ -346,6 +374,7 @@ class HorseConfig:
         telemetry=None,
         checkpoint=None,
         shard=None,
+        kernel=None,
         **flat,
     ) -> None:
         self.engine = engine
@@ -367,6 +396,7 @@ class HorseConfig:
         self.telemetry = _coerce_section(telemetry, "telemetry")
         self.checkpoint = _coerce_section(checkpoint, "checkpoint")
         self.shard = _coerce_section(shard, "shard")
+        self.kernel = _coerce_section(kernel, "kernel")
         explicit_sections = {
             name
             for name, value in (
@@ -375,6 +405,7 @@ class HorseConfig:
                 ("telemetry", telemetry),
                 ("checkpoint", checkpoint),
                 ("shard", shard),
+                ("kernel", kernel),
             )
             if value is not None
         }
@@ -462,6 +493,23 @@ class HorseConfig:
                 raise ExperimentError(
                     "checkpoint.interval_s needs a checkpoint.path"
                 )
+        kern = self.kernel
+        if kern.queue not in ("heap", "sorted"):
+            raise ExperimentError(
+                f"kernel.queue must be 'heap' or 'sorted', got {kern.queue!r}"
+            )
+        if kern.compaction_threshold is not None and not (
+            0.0 < kern.compaction_threshold <= 1.0
+        ):
+            raise ExperimentError(
+                "kernel.compaction_threshold must be in (0, 1] or None, "
+                f"got {kern.compaction_threshold!r}"
+            )
+        if kern.min_compact_size < 0:
+            raise ExperimentError(
+                "kernel.min_compact_size must be >= 0, "
+                f"got {kern.min_compact_size!r}"
+            )
         sh = self.shard
         if sh.count < 1:
             raise ExperimentError(f"shard.count must be >= 1, got {sh.count}")

@@ -31,6 +31,7 @@ from ..openflow.switch import attach_pipeline
 from ..pktsim.engine import PacketLevelEngine
 from ..sim.event import CallbackEvent
 from ..sim.kernel import Simulator
+from ..sim.queue import build_event_queue
 from ..sim.rng import RngRegistry
 from ..stats.collector import RunStatsCollector
 from ..telemetry import Telemetry
@@ -69,7 +70,14 @@ class Horse:
         self.topology = topology
         self.config = config or HorseConfig()
         self.rngs = RngRegistry(self.config.seed)
-        self.sim = Simulator()
+        kcfg = self.config.kernel
+        self.sim = Simulator(
+            queue=build_event_queue(
+                kcfg.queue,
+                compaction_threshold=kcfg.compaction_threshold,
+                min_compact_size=kcfg.min_compact_size,
+            )
+        )
         self.compiled: Optional[CompiledPolicy] = None
 
         if policies is not None and controller is not None:

@@ -1285,7 +1285,14 @@ class FlowLevelEngine:
             self._schedule_completion(flow)
 
     def _schedule_completion(self, flow: Flow) -> None:
-        """(Re)project the completion event for a volume flow."""
+        """(Re)project the completion event for a volume flow.
+
+        The churn-heavy fast path: an existing projection is moved with
+        ``Simulator.reschedule`` (one push; an unchanged completion
+        time schedules nothing at all) instead of cancel-and-push, so
+        reroute storms cannot fill the heap faster than compaction
+        drains it.
+        """
         if flow.size_bytes is None or flow.state is not FlowState.ACTIVE:
             return
         # Projection needs fresh byte counters (no-op when already fresh).
@@ -1296,13 +1303,9 @@ class FlowLevelEngine:
             return
         when = max(when, self.sim.now)
         existing = self._completions.get(flow.flow_id)
-        if (
-            existing is not None
-            and not existing.cancelled
-            and abs(existing.time - when) < 1e-9
-        ):
+        if existing is not None and not existing.cancelled:
+            self._completions[flow.flow_id] = self.sim.reschedule(existing, when)
             return
-        self._cancel_completion(flow)
         event = FlowCompletion(when, self, flow)
         self._completions[flow.flow_id] = event
         self.sim.schedule(event)
@@ -1310,7 +1313,7 @@ class FlowLevelEngine:
     def _cancel_completion(self, flow: Flow) -> None:
         event = self._completions.pop(flow.flow_id, None)
         if event is not None:
-            event.cancel()
+            self.sim.cancel(event)
 
     def _notify(self, name: str, flow: Flow) -> None:
         if self._trace_bus is not None:

@@ -47,6 +47,7 @@ from ..flowsim.flow import Flow, FlowState
 from ..net.link import LinkDirection
 from ..net.topology import Topology
 from ..pktsim.engine import PacketLevelEngine
+from ..sim.event import CallbackEvent
 from ..sim.kernel import Simulator
 from .selection import SelectionPolicy
 
@@ -152,6 +153,9 @@ class HybridEngine:
         # flow currently coupled into the background solver.
         self._measured: Dict[int, Tuple[float, float]] = {}
         self._sync_scheduled = False
+        # Persistent sync timer, re-armed via Simulator.reschedule after
+        # each firing (one push per tick, no per-tick allocation).
+        self._sync_event: Optional[CallbackEvent] = None
         self.stats = {
             "syncs": 0,
             "foreground_flows": 0,
@@ -227,7 +231,23 @@ class HybridEngine:
         if self._sync_scheduled:
             return
         self._sync_scheduled = True
-        self.sim.every(self.sync_interval_s, self._sync_tick)
+        event = CallbackEvent(
+            self.sim.now + self.sync_interval_s, self._sync_timer
+        )
+        event.daemon = True  # an idle sync loop must not keep run() alive
+        self._sync_event = self.sim.schedule(event)
+
+    def _sync_timer(self, sim: Simulator) -> None:
+        """Recurring sync driver: run one tick, then re-arm the timer.
+
+        Re-arming after the callback (not before) keeps the kernel
+        sequence-number consumption identical to the periodic-event
+        formulation this replaced, so event orderings are unchanged.
+        """
+        self._sync_tick(sim, sim.now)
+        self._sync_event = sim.reschedule(
+            self._sync_event, sim.now + self.sync_interval_s
+        )
 
     def _sync_tick(self, sim: Simulator, t: float) -> None:
         self.stats["syncs"] += 1

@@ -14,6 +14,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from ..flowsim.flow import Flow
+from ..sim.event import CallbackEvent
 from ..sim.kernel import Simulator
 from .packet import Packet
 
@@ -88,7 +89,19 @@ class Transport:
 
 
 class CbrTransport(Transport):
-    """Constant-bit-rate (UDP-like) pacing at the flow's demand rate."""
+    """Constant-bit-rate (UDP-like) pacing at the flow's demand rate.
+
+    The pacing tick is a single reschedulable timer: after each firing
+    the same event object is re-armed via ``Simulator.reschedule`` (one
+    push, no allocation) instead of minting a fresh callback event per
+    packet.
+    """
+
+    def __init__(
+        self, engine: "PacketLevelEngine", flow: Flow, mtu_bytes: int
+    ) -> None:
+        super().__init__(engine, flow, mtu_bytes)
+        self._tick_event: Optional[CallbackEvent] = None
 
     def start(self) -> None:
         self._send_tick(self.sim)
@@ -102,7 +115,12 @@ class CbrTransport(Transport):
             return
         self.engine.inject(self.flow, packet)
         interval = packet.size_bytes * 8.0 / self.flow.demand_bps
-        sim.call_in(interval, self._send_tick)
+        timer = self._tick_event
+        if timer is None:
+            timer = CallbackEvent(sim.now + interval, self._send_tick)
+            self._tick_event = sim.schedule(timer)
+        else:
+            self._tick_event = sim.reschedule(timer, sim.now + interval)
 
     def on_loss(self, packet: Packet) -> None:
         self.flow.bytes_dropped += packet.size_bytes

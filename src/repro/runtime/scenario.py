@@ -121,6 +121,7 @@ def build_config(
         telemetry=doc.get("telemetry") or None,
         checkpoint=doc.get("checkpoint") or None,
         shard=shard_section(doc) or None,
+        kernel=doc.get("kernel") or None,
     )
 
 

@@ -16,7 +16,8 @@ sections instead::
       "wire":      {"client": "learning", "listen": "127.0.0.1:0", ...},
       "telemetry": {"monitor_interval_s": 0.5, "trace_path": ..., ...},
       "checkpoint": {"path": "run.ckpt", "interval_s": 5.0},
-      "shards":    {"count": 4, "quantum_s": null, "partition": "greedy"}
+      "shards":    {"count": 4, "quantum_s": null, "partition": "greedy"},
+      "kernel":    {"queue": "heap", "compaction_threshold": 0.5}
     }
 
 ``"shards"`` also accepts a bare integer (``"shards": 4``).  Documents
@@ -97,6 +98,11 @@ SECTION_FIELDS: Dict[str, Dict[str, tuple]] = {
         "quantum_s": _OPT_NUM,
         "partition": (str, list),
         "checkpoint_dir": _OPT_STR,
+    },
+    "kernel": {
+        "queue": (str,),
+        "compaction_threshold": _OPT_NUM,
+        "min_compact_size": (int,),
     },
 }
 
@@ -264,6 +270,18 @@ def validate_scenario(doc: dict) -> None:
                 # null = "use the default" for any field in JSON.
                 continue
             _check_type(f"{section}.{field}", fval, types)
+    kern = doc.get("kernel")
+    if isinstance(kern, dict):
+        queue = kern.get("queue", "heap")
+        if queue not in ("heap", "sorted"):
+            raise ExperimentError(
+                f"kernel.queue: must be 'heap' or 'sorted', got {queue!r}"
+            )
+        threshold = kern.get("compaction_threshold")
+        if threshold is not None and not (0.0 < threshold <= 1.0):
+            raise ExperimentError(
+                "kernel.compaction_threshold: must be in (0, 1] or null"
+            )
     sh = doc.get("shards")
     if isinstance(sh, dict):
         count = sh.get("count", 1)

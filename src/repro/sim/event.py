@@ -33,7 +33,7 @@ class Event:
         fires first.  Defaults to 0.
     """
 
-    __slots__ = ("time", "priority", "seq", "cancelled", "daemon")
+    __slots__ = ("time", "priority", "seq", "cancelled", "daemon", "queued")
 
     def __init__(self, time: float, priority: int = 0) -> None:
         if time < 0:
@@ -46,6 +46,11 @@ class Event:
         #: not keep the simulation alive: run() returns once only daemon
         #: events remain, mirroring daemon-thread semantics.
         self.daemon = False
+        #: True while the event sits in a kernel's pending set (set on
+        #: schedule, cleared on pop/compaction).  ``Simulator.reschedule``
+        #: uses it to pick between re-arming the same object (already
+        #: fired) and tombstone replacement (still queued).
+        self.queued = False
 
     def fire(self, sim: "Any") -> None:
         """Execute the event's effect.
@@ -99,14 +104,34 @@ class CallbackEvent(Event):
         self.callback(sim, *self.args, **self.kwargs)
 
 
+class _PeriodicSeries:
+    """Shared cancellation handle for a chain of periodic firings.
+
+    Every clone in a periodic series points at the same series object,
+    so cancelling *any* event of the series — including the handle
+    returned by ``Simulator.every`` long after it fired — stops the
+    whole recurrence.
+    """
+
+    __slots__ = ("cancelled", "current")
+
+    def __init__(self) -> None:
+        self.cancelled = False
+        #: The series event currently queued (or firing).
+        self.current: Optional["PeriodicEvent"] = None
+
+
 class PeriodicEvent(Event):
     """An event that re-schedules itself every ``interval`` seconds.
 
     Used for monitoring polls and statistics sampling.  Set ``until`` to
-    bound the recurrence, or call :meth:`cancel` to stop it.
+    bound the recurrence, or call :meth:`cancel` to stop it.  All
+    firings of one series share a cancellation handle, so cancelling the
+    original event stops the recurrence even after it has fired —
+    the queued clone is tombstoned and no further clone is scheduled.
     """
 
-    __slots__ = ("callback", "interval", "until")
+    __slots__ = ("callback", "interval", "until", "series")
 
     def __init__(
         self,
@@ -116,6 +141,7 @@ class PeriodicEvent(Event):
         until: Optional[float] = None,
         priority: int = 0,
         daemon: bool = True,
+        series: Optional[_PeriodicSeries] = None,
     ) -> None:
         if interval <= 0:
             raise ValueError(f"interval must be > 0, got {interval}")
@@ -126,11 +152,28 @@ class PeriodicEvent(Event):
         # Periodic housekeeping defaults to daemon so an idle monitor
         # cannot keep run() spinning forever.
         self.daemon = daemon
+        self.series = series if series is not None else _PeriodicSeries()
+        if series is None:
+            self.series.current = self
+
+    def cancel(self) -> None:
+        """Stop the whole series: this event, and the queued clone."""
+        super().cancel()
+        series = self.series
+        series.cancelled = True
+        current = series.current
+        if current is not None and current is not self and not current.cancelled:
+            Event.cancel(current)
 
     def fire(self, sim: Any) -> None:
+        if self.series.cancelled:
+            return
         self.callback(sim, self.time)
         next_time = self.time + self.interval
         if self.until is not None and next_time > self.until:
+            return
+        if self.series.cancelled:
+            # The callback cancelled its own series mid-firing.
             return
         clone = PeriodicEvent(
             next_time,
@@ -139,5 +182,7 @@ class PeriodicEvent(Event):
             until=self.until,
             priority=self.priority,
             daemon=self.daemon,
+            series=self.series,
         )
         sim.schedule(clone)
+        self.series.current = clone

@@ -22,6 +22,56 @@ from .queue import EventQueue, HeapEventQueue
 
 logger = logging.getLogger(__name__)
 
+#: Rescheduling a timer to within this of its current firing time is a
+#: no-op (the flow-engine completion path relies on this fast path to
+#: schedule nothing when a recomputed completion time is unchanged).
+RESCHEDULE_EPSILON = 1e-9
+
+#: Event class -> compiled copier, filled lazily by :func:`_clone_event`.
+_CLONE_CACHE: dict = {}
+
+
+def _make_copier(cls):
+    """Compile a straight-line shallow copier for an event class.
+
+    ``Simulator.reschedule`` mints one clone per retiming of a queued
+    timer, so cloning sits on the churn hot path; both ``copy.copy``
+    (via ``__reduce_ex__``) and a generic getattr/setattr loop cost
+    more there than the heap push itself.  Generating the per-class
+    assignments once (the ``namedtuple``/``dataclasses`` technique)
+    keeps the per-clone work at plain attribute loads and stores.
+    """
+    slots = tuple(
+        dict.fromkeys(
+            name
+            for klass in cls.__mro__
+            for name in getattr(klass, "__slots__", ())
+        )
+    )
+    lines = "\n    ".join(f"clone.{name} = event.{name}" for name in slots)
+    source = (
+        "def copier(event, _new=_new, _cls=_cls):\n"
+        "    clone = _new(_cls)\n"
+        f"    {lines}\n"
+        "    state = getattr(event, '__dict__', None)\n"
+        "    if state:\n"
+        "        clone.__dict__.update(state)\n"
+        "    return clone\n"
+    )
+    namespace = {"_new": object.__new__, "_cls": cls, "getattr": getattr}
+    exec(source, namespace)
+    return namespace["copier"]
+
+
+def _clone_event(event: Event) -> Event:
+    """Shallow-copy an event via its class's compiled copier."""
+    cls = type(event)
+    copier = _CLONE_CACHE.get(cls)
+    if copier is None:
+        copier = _make_copier(cls)
+        _CLONE_CACHE[cls] = copier
+    return copier(event)
+
 
 class Simulator:
     """Discrete-event simulator with a deterministic event order.
@@ -75,17 +125,40 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
+        """Number of *live* events still queued.
+
+        Cancelled events awaiting lazy removal are excluded; use
+        :attr:`pending_raw` for the raw pending-set size.
+        """
+        queue = self._queue
+        live = getattr(queue, "live", None)
+        return live if live is not None else len(queue)
+
+    @property
+    def pending_raw(self) -> int:
+        """Raw pending-set size, including cancelled tombstones."""
         return len(self._queue)
 
     def stats_snapshot(self) -> dict:
         """Kernel counters (picklable metrics source for
-        :class:`repro.telemetry.MetricsRegistry`)."""
-        return {
+        :class:`repro.telemetry.MetricsRegistry`).
+
+        ``pending_events`` reports live events only; the raw queue size
+        (with tombstones) is ``pending_raw``, and the ``queue_*`` keys
+        expose the pending-set health counters (stale entries,
+        compactions, discarded tombstones, peak size).
+        """
+        snap = {
             "now": self._now,
             "fired_events": self.fired_count,
-            "pending_events": len(self._queue),
+            "pending_events": self.pending,
+            "pending_raw": len(self._queue),
         }
+        health = getattr(self._queue, "health", None)
+        if health is not None:
+            for key, value in health().items():
+                snap[f"queue_{key}"] = value
+        return snap
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -103,8 +176,96 @@ class Simulator:
         event.seq = next(self._seq)
         if not event.daemon:
             self._live_pending += 1
+        event.queued = True
         self._queue.push(event)
         return event
+
+    def cancel(self, event: Event) -> bool:
+        """Cancel a scheduled event, keeping the pending set healthy.
+
+        Equivalent to ``event.cancel()`` plus stale accounting: the
+        queue learns the entry is a tombstone and, when tombstones
+        exceed its compaction threshold, is rebuilt in place (see
+        :meth:`repro.sim.queue.HeapEventQueue.compact`).  Returns True
+        when this call cancelled the event, False when it was already
+        cancelled.  Prefer this over ``event.cancel()`` for events that
+        are cancelled en masse (rate-change churn); direct
+        ``event.cancel()`` still works but leaves the tombstone
+        unaccounted until it is popped.
+        """
+        if event.cancelled:
+            return False
+        event.cancel()
+        if event.queued:
+            note = getattr(self._queue, "note_cancel", None)
+            if note is not None and note(event):
+                self._compact()
+        return True
+
+    def reschedule(self, event: Event, new_time: float) -> Event:
+        """Move a timer to ``new_time`` and return the live handle.
+
+        The first-class alternative to the cancel-and-push idiom for
+        reschedulable timers (flow-completion projections, pacing
+        ticks, sync ticks):
+
+        - already fired (or never scheduled): the same object is
+          re-armed with a single push — no tombstone, no allocation;
+        - still queued at a different time: the queued entry is
+          tombstoned in place and a clone is pushed
+          (decrease/increase-key by stale-tombstone replacement);
+        - still queued within :data:`RESCHEDULE_EPSILON` of
+          ``new_time``: nothing is scheduled and the same handle comes
+          back.
+
+        Callers must treat the *returned* event as the live handle; the
+        argument may have become a tombstone.
+        """
+        if new_time < self._now:
+            raise SchedulingError(
+                f"cannot reschedule event to t={new_time} before now={self._now}"
+            )
+        if event.queued:
+            if (
+                not event.cancelled
+                and abs(event.time - new_time) < RESCHEDULE_EPSILON
+            ):
+                return event
+            replacement = _clone_event(event)
+            replacement.queued = False
+            replacement.cancelled = False
+            replacement.time = float(new_time)
+            if not event.cancelled:
+                # Tombstone the queued entry directly: subclass
+                # ``cancel`` overrides (a periodic series' cascading
+                # cancellation) must not run for a retiming.
+                event.cancelled = True
+                note = getattr(self._queue, "note_cancel", None)
+                if note is not None and note(event):
+                    self._compact()
+            self.schedule(replacement)
+            return replacement
+        event.cancelled = False
+        event.time = float(new_time)
+        self.schedule(event)
+        return event
+
+    def _compact(self) -> None:
+        """Rebuild the pending set without tombstones (trace-spanned)."""
+        queue = self._queue
+        bus = self.trace_bus
+        if bus is not None:
+            with bus.span(
+                "kernel.compact",
+                raw=len(queue),
+                stale=queue.stale,
+            ):
+                dropped = queue.compact()
+        else:
+            dropped = queue.compact()
+        for event in dropped:
+            if not event.daemon:
+                self._live_pending -= 1
 
     def call_at(
         self, time: float, callback: Callable[..., None], *args: Any, **kwargs: Any
@@ -132,9 +293,11 @@ class Simulator:
         """Schedule ``callback(sim, t)`` every ``interval`` seconds.
 
         ``start`` defaults to ``now + interval``.  Returns the first
-        periodic event; cancelling it before it fires stops the series
-        (each firing schedules a fresh event, so to stop a running series
-        use the ``until`` bound or have the callback raise StopIteration).
+        periodic event, which doubles as the series handle: cancelling
+        it stops the recurrence at any point — before the first tick or
+        after any number of firings (the whole series shares one
+        cancellation flag).  The ``until`` bound and raising
+        StopIteration from the callback also end the series.
         """
         first = (self._now + interval) if start is None else start
         event = PeriodicEvent(first, interval, callback, until=until)
@@ -148,6 +311,7 @@ class Simulator:
         """Fire the next non-cancelled event; return it, or None if empty."""
         while len(self._queue):
             event = self._queue.pop()
+            event.queued = False
             if not event.daemon:
                 self._live_pending -= 1
             if event.cancelled:
@@ -199,6 +363,7 @@ class Simulator:
                 head = self._queue.peek()
                 while head is not None and head.cancelled:
                     dead = self._queue.pop()
+                    dead.queued = False
                     if not dead.daemon:
                         self._live_pending -= 1
                     head = self._queue.peek()

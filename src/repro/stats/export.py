@@ -119,13 +119,22 @@ def run_digest(result: "RunResult") -> str:
     Wire-control metrics (``wire.*``) are wall-clock measurements of
     the external controller and are likewise excluded, so a wire run
     that reproduces an in-proc run's behavior hashes identically.
+    Kernel queue-health metrics (``sim.queue_*`` and
+    ``sim.pending_raw``) describe the pending-set *implementation* —
+    compaction cadence, tombstone counts — not simulated behavior, so
+    they are excluded too: runs that differ only in compaction tuning
+    hash identically.
     """
     doc = result_to_dict(result)
     doc.pop("wall_time_s", None)
     doc["metrics"] = {
         key: value
         for key, value in doc["metrics"].items()
-        if not key.startswith("wire.")
+        if not (
+            key.startswith("wire.")
+            or key.startswith("sim.queue_")
+            or key == "sim.pending_raw"
+        )
     }
     blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -1,0 +1,127 @@
+"""Differential test: reschedulable completion timers vs the seed path.
+
+The flow engine's ``_schedule_completion`` moved from cancel-and-push
+(tombstone a ``FlowCompletion``, allocate a fresh one, push) onto
+``Simulator.reschedule``.  That swap is only safe if it is invisible to
+simulated behavior: the sequence-number consumption, firing order, and
+therefore every per-flow tuple must be bitwise identical.  This test
+reinstates the seed implementation via monkeypatching and runs a
+reroute storm (repeated link flaps over shared paths, maximal
+completion-projection churn) under both, asserting exact equality.
+"""
+
+from contextlib import contextmanager
+
+from repro import Horse, HorseConfig
+from repro.flowsim.engine import FlowLevelEngine
+from repro.flowsim.events import FlowCompletion
+from repro.flowsim.flow import FlowState
+from repro.ixp import build_ixp
+from repro.sim.rng import RngRegistry
+from repro.traffic import FlowGenConfig, IxpTraceSynthesizer
+
+
+def _seed_schedule_completion(self, flow):
+    """The pre-reschedule implementation: cancel-and-push with an
+    unchanged-time fast path (verbatim seed semantics)."""
+    if flow.size_bytes is None or flow.state is not FlowState.ACTIVE:
+        return
+    self._accrue_flow(flow, self.sim.now)
+    when = flow.projected_completion(self.sim.now)
+    if when is None:
+        _seed_cancel_completion(self, flow)
+        return
+    when = max(when, self.sim.now)
+    existing = self._completions.get(flow.flow_id)
+    if (
+        existing is not None
+        and not existing.cancelled
+        and abs(existing.time - when) < 1e-9
+    ):
+        return
+    _seed_cancel_completion(self, flow)
+    event = FlowCompletion(when, self, flow)
+    self._completions[flow.flow_id] = event
+    self.sim.schedule(event)
+
+
+def _seed_cancel_completion(self, flow):
+    event = self._completions.pop(flow.flow_id, None)
+    if event is not None:
+        event.cancel()
+
+
+@contextmanager
+def _seed_completion_path():
+    saved = (
+        FlowLevelEngine._schedule_completion,
+        FlowLevelEngine._cancel_completion,
+    )
+    FlowLevelEngine._schedule_completion = _seed_schedule_completion
+    FlowLevelEngine._cancel_completion = _seed_cancel_completion
+    try:
+        yield
+    finally:
+        (
+            FlowLevelEngine._schedule_completion,
+            FlowLevelEngine._cancel_completion,
+        ) = saved
+
+
+def _fingerprint(flows, result):
+    return {
+        "events": result.events,
+        "sim_time_s": result.sim_time_s,
+        "flows": [
+            (
+                f.state.name if hasattr(f.state, "name") else str(f.state),
+                f.end_time,
+                f.bytes_sent,
+                f.bytes_delivered,
+                f.rate_bps,
+                tuple(d.key for d in f.route.directions) if f.route else (),
+            )
+            for f in flows
+        ],
+    }
+
+
+def _run_reroute_storm():
+    fabric = build_ixp(8, seed=23)
+    synth = IxpTraceSynthesizer(
+        fabric,
+        peak_total_bps=1.5e9,
+        flow_config=FlowGenConfig(mean_flow_bytes=400e3, min_demand_bps=10e6),
+    )
+    flows = synth.steady_flows(
+        RngRegistry(23).stream("diff"), duration_s=1.0, load_fraction=0.7
+    )
+    horse = Horse(
+        fabric.topology,
+        policies={"forwarding": {"mode": "shortest-path", "match_on": "ip_dst"}},
+        config=HorseConfig(engine="flow", seed=23),
+    )
+    horse.submit_flows(flows)
+    # A reroute storm: flap every switch-to-switch link in sequence, so
+    # completion projections are torn up and re-issued over and over.
+    switch_names = {s.name for s in fabric.topology.switches}
+    core_links = [
+        link
+        for link in fabric.topology.links
+        if {link.endpoints[0].name, link.endpoints[1].name} <= switch_names
+    ]
+    t = 0.2
+    for link in core_links:
+        a, b = link.endpoints[0].name, link.endpoints[1].name
+        horse.fail_link(t, a, b)
+        horse.restore_link(t + 0.15, a, b)
+        t += 0.1
+    result = horse.run(until=30.0)
+    return _fingerprint(flows, result)
+
+
+def test_reroute_storm_matches_seed_completion_path():
+    with _seed_completion_path():
+        want = _run_reroute_storm()
+    got = _run_reroute_storm()
+    assert got == want

@@ -15,6 +15,7 @@ from repro.core.config import (
     CheckpointConfig,
     HorseConfig,
     HybridConfig,
+    KernelConfig,
     ShardConfig,
     TelemetryConfig,
     WireConfig,
@@ -41,6 +42,9 @@ def test_default_sections():
     assert config.checkpoint == CheckpointConfig()
     assert config.shard == ShardConfig()
     assert config.shard.count == 1
+    assert config.kernel == KernelConfig()
+    assert config.kernel.queue == "heap"
+    assert config.kernel.compaction_threshold == 0.5
 
 
 def test_sections_accept_instances_and_dicts():
@@ -62,6 +66,24 @@ def test_shard_section_validation():
         HorseConfig(shard={"count": 2, "quantum_s": -1.0})
     with pytest.raises(ExperimentError, match="partition"):
         HorseConfig(shard={"count": 2, "partition": "metis"})
+
+
+def test_kernel_section_validation():
+    config = HorseConfig(kernel={"queue": "sorted"})
+    assert config.kernel.queue == "sorted"
+    assert HorseConfig(
+        kernel={"compaction_threshold": None}
+    ).kernel.compaction_threshold is None
+    with pytest.raises(ExperimentError, match="queue"):
+        HorseConfig(kernel={"queue": "fibonacci"})
+    with pytest.raises(ExperimentError, match="compaction_threshold"):
+        HorseConfig(kernel={"compaction_threshold": 1.5})
+    with pytest.raises(ExperimentError, match="compaction_threshold"):
+        HorseConfig(kernel={"compaction_threshold": 0.0})
+    with pytest.raises(ExperimentError, match="min_compact_size"):
+        HorseConfig(kernel={"min_compact_size": -1})
+    with pytest.raises(ExperimentError, match="unknown"):
+        HorseConfig(kernel={"threshold": 0.5})
 
 
 def test_sharding_requires_flow_engine_inproc_control():

@@ -1,0 +1,166 @@
+"""Property tests for the compacting pending-event set.
+
+Two invariants back the E14 kernel work:
+
+1. **Pop-order transparency** — under any interleaving of push, cancel,
+   reschedule, and compaction, :class:`HeapEventQueue` pops the same
+   live-event sequence as a never-compacting reference heap.  Compaction
+   only removes entries that would never have fired, so it must be
+   invisible to simulated behavior (this is what keeps run digests
+   stable).
+2. **Bounded memory** — with the default 0.5 threshold the raw heap
+   never grows past ~2x the live events under sustained
+   cancel/reschedule churn, the scalability property the pure-lazy
+   kernel lacked.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Event, HeapEventQueue, Simulator
+
+
+def _drain(queue):
+    """Pop everything, returning the (time, seq) keys of live events."""
+    out = []
+    while len(queue):
+        event = queue.pop()
+        if not event.cancelled:
+            out.append((event.time, event.seq))
+    return out
+
+
+# One workload step: (op, time_fraction, target_fraction).  The
+# fractions pick the event time and which pending event to target, so
+# any generated list is a valid program.
+_STEPS = st.lists(
+    st.tuples(
+        st.sampled_from(["push", "cancel", "reschedule", "compact", "pop"]),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(steps=_STEPS, threshold=st.sampled_from([0.25, 0.5, 0.9]))
+def test_property_compaction_is_pop_order_transparent(steps, threshold):
+    """Random push/cancel/reschedule/compact programs pop identically on
+    a compacting queue and a never-compacting reference heap."""
+    queue = HeapEventQueue(compaction_threshold=threshold, min_compact_size=4)
+    reference = HeapEventQueue(compaction_threshold=None)
+    live = []  # (mine, ref) pairs still expected in both queues
+    seq = 0
+    popped_mine = []
+    popped_ref = []
+
+    def push_pair(time):
+        nonlocal seq
+        a, b = Event(time), Event(time)
+        a.seq = b.seq = seq
+        seq += 1
+        queue.push(a)
+        reference.push(b)
+        live.append((a, b))
+
+    for op, tfrac, pick in steps:
+        time = round(tfrac * 100.0, 3)
+        if op == "push":
+            push_pair(time)
+        elif op == "cancel" and live:
+            mine, ref = live.pop(int(pick * (len(live) - 0.001)))
+            mine.cancel()
+            ref.cancel()
+            queue.note_cancel(mine)
+        elif op == "reschedule" and live:
+            # Tombstone replacement, mirrored on both queues.
+            idx = int(pick * (len(live) - 0.001))
+            mine, ref = live.pop(idx)
+            mine.cancel()
+            ref.cancel()
+            queue.note_cancel(mine)
+            push_pair(time)
+        elif op == "compact":
+            queue.compact()
+        elif op == "pop":
+            while len(queue):
+                a = queue.pop()
+                if not a.cancelled:
+                    popped_mine.append((a.time, a.seq))
+                    break
+            while len(reference):
+                b = reference.pop()
+                if not b.cancelled:
+                    popped_ref.append((b.time, b.seq))
+                    break
+            assert popped_mine == popped_ref
+
+    assert popped_mine + _drain(queue) == popped_ref + _drain(reference)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed_times=st.lists(
+    st.floats(min_value=0.0, max_value=10.0), min_size=8, max_size=32
+))
+def test_property_heap_bounded_under_churn(seed_times):
+    """Sustained cancel+push churn keeps the raw heap within ~2x live."""
+    queue = HeapEventQueue(compaction_threshold=0.5, min_compact_size=8)
+    sim = Simulator(queue=queue)
+    events = [sim.call_at(t, lambda s: None) for t in sorted(seed_times)]
+    live = len(events)
+    for round_no in range(50):
+        for i, event in enumerate(events):
+            sim.cancel(event)
+            events[i] = sim.call_at(
+                event.time + round_no + 1.0, lambda s: None
+            )
+        assert len(queue) <= 2 * live + queue.min_compact_size
+    assert queue.compactions > 0
+
+
+def test_churn_memory_bound_at_scale():
+    """Deterministic large-churn check: 1k live timers, 40 reschedule
+    rounds — raw heap stays ~2x live (the pure-lazy kernel would grow
+    to 40x)."""
+    queue = HeapEventQueue(compaction_threshold=0.5, min_compact_size=64)
+    sim = Simulator(queue=queue)
+    n = 1000
+    timers = [sim.call_at(float(i + 1), lambda s: None) for i in range(n)]
+    peak = 0
+    for round_no in range(40):
+        for i, timer in enumerate(timers):
+            timers[i] = sim.reschedule(timer, timer.time + 0.5)
+        peak = max(peak, len(queue))
+    assert peak <= 2 * n + queue.min_compact_size
+    assert sim.pending == n
+
+
+def test_compact_preserves_exact_pop_sequence():
+    """Compacting mid-stream yields the byte-identical pop sequence."""
+    plain = HeapEventQueue(compaction_threshold=None)
+    compacting = HeapEventQueue(compaction_threshold=None)
+    pairs = []
+    for i, t in enumerate([5.0, 1.0, 3.0, 1.0, 2.0, 4.0, 1.0, 9.0]):
+        a, b = Event(t), Event(t)
+        a.seq = b.seq = i
+        plain.push(a)
+        compacting.push(b)
+        pairs.append((a, b))
+    for idx in (0, 3, 5):
+        pairs[idx][0].cancel()
+        pairs[idx][1].cancel()
+    compacting.compact()
+    assert _drain(plain) == _drain(compacting)
+    assert compacting.stale_discarded == 3
+
+
+def test_invalid_queue_parameters_rejected():
+    with pytest.raises(ValueError):
+        HeapEventQueue(compaction_threshold=0.0)
+    with pytest.raises(ValueError):
+        HeapEventQueue(compaction_threshold=1.5)
+    with pytest.raises(ValueError):
+        HeapEventQueue(min_compact_size=-1)

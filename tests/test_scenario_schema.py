@@ -147,6 +147,45 @@ def test_shard_section_accepts_bare_int():
     assert shard_section(doc)["quantum_s"] == 0.5
 
 
+def test_kernel_section_validates_and_round_trips():
+    doc = v0_doc()
+    doc["schema_version"] = 1
+    doc["kernel"] = {
+        "queue": "heap",
+        "compaction_threshold": 0.25,
+        "min_compact_size": 16,
+    }
+    validate_scenario(doc)
+    from repro.runtime.scenario import build_config
+
+    config = build_config(doc)
+    assert config.kernel.queue == "heap"
+    assert config.kernel.compaction_threshold == 0.25
+    assert config.kernel.min_compact_size == 16
+    # null means "use the default" per the JSON convention...
+    doc["kernel"] = {"compaction_threshold": None}
+    validate_scenario(doc)
+    # ...but KernelConfig treats an explicit None as "disable".
+    assert build_config(doc).kernel.compaction_threshold is None
+
+
+def test_kernel_section_rejects_bad_values():
+    doc = v0_doc()
+    doc["schema_version"] = 1
+    doc["kernel"] = {"queue": "fibonacci"}
+    with pytest.raises(ExperimentError, match="kernel.queue"):
+        validate_scenario(doc)
+    doc["kernel"] = {"compaction_threshold": 2.0}
+    with pytest.raises(ExperimentError, match="kernel.compaction_threshold"):
+        validate_scenario(doc)
+    doc["kernel"] = {"queue": "heap", "min_compact_size": "lots"}
+    with pytest.raises(ExperimentError, match="kernel.min_compact_size"):
+        validate_scenario(doc)
+    doc["kernel"] = {"compactor": True}
+    with pytest.raises(ExperimentError, match="kernel.compactor"):
+        validate_scenario(doc)
+
+
 # ----------------------------------------------------------------------
 # Lossless round-trip over the migratable key space (property test)
 # ----------------------------------------------------------------------

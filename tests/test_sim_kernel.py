@@ -238,3 +238,167 @@ def test_property_queue_parity(times):
     drained_heap = [heap.pop().time for _ in range(len(times))]
     drained_list = [lst.pop().time for _ in range(len(times))]
     assert drained_heap == drained_list == sorted(times)
+
+
+class TestPeriodicSeriesCancellation:
+    def test_cancel_after_first_firing_stops_the_series(self):
+        """Regression: the handle from every() used to be dead after the
+        first firing (the queued clone was a different object)."""
+        sim = Simulator()
+        hits = []
+        handle = sim.every(1.0, lambda s, t: hits.append(t))
+        sim.call_at(2.5, lambda s: handle.cancel())
+        sim.call_at(10.0, lambda s: None)  # keep the run alive
+        sim.run()
+        assert hits == [1.0, 2.0]
+
+    def test_cancel_after_n_firings(self):
+        sim = Simulator()
+        hits = []
+        handle = sim.every(1.0, lambda s, t: hits.append(t))
+        sim.call_at(4.5, lambda s: handle.cancel())
+        sim.call_at(20.0, lambda s: None)
+        sim.run()
+        assert hits == [1.0, 2.0, 3.0, 4.0]
+
+    def test_cancel_before_first_firing(self):
+        sim = Simulator()
+        hits = []
+        handle = sim.every(1.0, lambda s, t: hits.append(t))
+        handle.cancel()
+        sim.call_at(5.0, lambda s: None)
+        sim.run()
+        assert hits == []
+
+    def test_callback_can_cancel_its_own_series(self):
+        sim = Simulator()
+        hits = []
+        handle = sim.every(1.0, lambda s, t: (hits.append(t), handle.cancel()))
+        sim.call_at(5.0, lambda s: None)
+        sim.run()
+        assert hits == [1.0]
+
+
+class TestPendingAccounting:
+    def test_pending_excludes_cancelled_events(self):
+        sim = Simulator()
+        live = sim.call_at(1.0, lambda s: None)
+        dead = sim.call_at(2.0, lambda s: None)
+        sim.cancel(dead)
+        assert sim.pending == 1
+        assert sim.pending_raw == 2
+        assert live in (live,)  # silence unused warning
+
+    def test_stats_snapshot_reports_live_and_raw(self):
+        sim = Simulator()
+        sim.call_at(1.0, lambda s: None)
+        sim.cancel(sim.call_at(2.0, lambda s: None))
+        snap = sim.stats_snapshot()
+        assert snap["pending_events"] == 1
+        assert snap["pending_raw"] == 2
+        assert snap["queue_stale"] == 1
+        assert "queue_compactions" in snap
+        assert "queue_peak_size" in snap
+
+    def test_pending_restored_after_pop(self):
+        sim = Simulator()
+        sim.cancel(sim.call_at(1.0, lambda s: None))
+        sim.call_at(2.0, lambda s: None)
+        sim.run()
+        assert sim.pending == 0
+        assert sim.pending_raw == 0
+        assert sim.fired_count == 1
+
+
+class TestSimulatorCancel:
+    def test_cancel_returns_true_once(self):
+        sim = Simulator()
+        event = sim.call_at(1.0, lambda s: None)
+        assert sim.cancel(event) is True
+        assert sim.cancel(event) is False
+
+    def test_mass_cancellation_triggers_compaction(self):
+        queue = HeapEventQueue(compaction_threshold=0.5, min_compact_size=8)
+        sim = Simulator(queue=queue)
+        events = [sim.call_at(float(i + 1), lambda s: None) for i in range(64)]
+        for event in events[: len(events) // 2 + 4]:
+            sim.cancel(event)
+        assert queue.compactions >= 1
+        # Post-compaction cancels may leave tombstones, but always below
+        # the threshold fraction of the (shrunken) heap.
+        assert queue.stale <= 0.5 * len(queue) + 1
+        # Live accounting survives the rebuild.
+        assert sim.pending == queue.live
+        fired = sim.run()
+        assert fired == len(events) - (len(events) // 2 + 4)
+
+    def test_compaction_disabled_with_none_threshold(self):
+        queue = HeapEventQueue(compaction_threshold=None, min_compact_size=0)
+        sim = Simulator(queue=queue)
+        events = [sim.call_at(float(i + 1), lambda s: None) for i in range(32)]
+        for event in events:
+            sim.cancel(event)
+        assert queue.compactions == 0
+        assert len(queue) == 32  # tombstones linger until popped
+        sim.run()
+        assert sim.fired_count == 0
+
+
+class TestReschedule:
+    def test_reschedule_queued_event_moves_it(self):
+        sim = Simulator()
+        log = []
+        event = sim.schedule(Recorder(5.0, log, "x"))
+        handle = sim.reschedule(event, 1.0)
+        sim.run()
+        assert log == [(1.0, "x")]
+        assert handle.time == 1.0
+
+    def test_reschedule_unchanged_time_is_noop(self):
+        sim = Simulator()
+        event = sim.call_at(3.0, lambda s: None)
+        before = sim.pending_raw
+        handle = sim.reschedule(event, 3.0)
+        assert handle is event
+        assert sim.pending_raw == before
+
+    def test_reschedule_fired_event_reuses_the_object(self):
+        sim = Simulator()
+        log = []
+
+        def cb(s):
+            log.append(s.now)
+            if len(log) < 3:
+                s.reschedule(timer, s.now + 1.0)
+
+        timer = sim.call_at(1.0, cb)
+        sim.run()
+        assert log == [1.0, 2.0, 3.0]
+        assert sim.pending_raw == 0
+
+    def test_reschedule_into_past_raises(self):
+        sim = Simulator()
+        event = sim.call_at(10.0, lambda s: None)
+        sim.call_at(5.0, lambda s: None)
+        sim.run(until=6.0)
+        with pytest.raises(SchedulingError):
+            sim.reschedule(event, 1.0)
+
+    def test_reschedule_returns_live_handle_for_queued_event(self):
+        sim = Simulator()
+        log = []
+        stale = sim.schedule(Recorder(5.0, log, "a"))
+        handle = sim.reschedule(stale, 7.0)
+        assert stale.cancelled  # the argument became a tombstone
+        assert not handle.cancelled
+        sim.run()
+        assert log == [(7.0, "a")]
+
+    def test_reschedule_cancelled_unqueued_event_revives_it(self):
+        sim = Simulator()
+        log = []
+        event = Recorder(2.0, log, "z")
+        event.cancel()
+        sim.reschedule(event, 3.0)
+        sim.run()
+        assert log == [(3.0, "z")]
